@@ -1,0 +1,85 @@
+"""Extension (paper future work): validate the analytic cost model.
+
+The paper's conclusion: "we ... are developing a cost model to predict
+Panda's performance given an in-memory and on-disk schema."  This
+benchmark implements the validation study that announcement implies:
+predict every figure-style configuration analytically and compare with
+the simulator, publishing the error distribution.
+"""
+
+import pytest
+
+from conftest import publish, run_once
+
+from repro.bench.harness import build_array, run_panda_point
+from repro.bench.report import format_rows
+from repro.bench import shape_for_mb
+from repro.core.costmodel import predict_arrays
+from repro.machine import sp2
+
+CASES = [
+    # (kind, n_cn, n_io, size_mb, disk_schema, fast_disk)
+    ("write", 8, 2, 64, "natural", False),
+    ("write", 8, 8, 512, "natural", False),
+    ("read", 8, 4, 128, "natural", False),
+    ("read", 32, 8, 256, "natural", False),
+    ("write", 32, 4, 64, "traditional", False),
+    ("read", 32, 6, 128, "traditional", False),
+    ("write", 32, 8, 512, "natural", True),
+    ("read", 32, 2, 64, "natural", True),
+    ("write", 16, 4, 256, "traditional", True),
+    ("write", 16, 8, 16, "traditional", True),
+]
+
+
+def evaluate(case):
+    kind, n_cn, n_io, mb, schema, fast = case
+    shape = shape_for_mb(mb)
+    sim = run_panda_point(kind, n_cn, n_io, shape, disk_schema=schema,
+                          fast_disk=fast).elapsed
+    arr = build_array(shape, n_cn, n_io, schema)
+    pred = predict_arrays([arr], kind, n_cn, n_io, sp2(fast_disk=fast))
+    return sim, pred
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {case: evaluate(case) for case in CASES}
+
+
+def test_publish_validation(benchmark, results):
+    run_once(benchmark, lambda: None)
+    rows = []
+    for case, (sim, pred) in results.items():
+        kind, n_cn, n_io, mb, schema, fast = case
+        err = (pred.elapsed - sim) / sim * 100
+        rows.append([
+            kind, f"{n_cn}/{n_io}", f"{mb} MB", schema,
+            "fast" if fast else "real",
+            f"{sim:.3f}", f"{pred.elapsed:.3f}", f"{err:+.1f}%",
+            pred.bottleneck,
+        ])
+    publish("cost-model validation (predicted vs simulated elapsed, s)\n\n"
+            + format_rows(rows, ["op", "CN/ION", "size", "schema", "disk",
+                                 "simulated", "predicted", "error",
+                                 "bottleneck"]))
+
+
+def test_prediction_error_bounded(results):
+    for case, (sim, pred) in results.items():
+        err = abs(pred.elapsed - sim) / sim
+        assert err < 0.15, (case, err)
+
+
+def test_bottleneck_calls_match_physics(results):
+    for case, (_sim, pred) in results.items():
+        fast = case[5]
+        if fast:
+            assert pred.bottleneck in ("network", "copy")
+        else:
+            assert pred.bottleneck == "disk"
+
+
+def test_mean_error_small(results):
+    errs = [abs(p.elapsed - s) / s for s, p in results.values()]
+    assert sum(errs) / len(errs) < 0.07

@@ -1,0 +1,57 @@
+"""Figure 4: aggregate and normalised throughput for *writing* arrays
+of 16-512 MB from 8 compute nodes, as a function of the number of I/O
+nodes, using natural chunking.
+
+Beyond the 85-98% band, this module checks the read/write relationship
+of Figures 3 vs 4: writes achieve lower *aggregate* throughput than
+reads (the AIX write peak is 2.23 vs 2.85 MB/s) while both normalise
+into the same band.
+"""
+
+import pytest
+
+from conftest import run_once
+from figures import assert_band, assert_scales_with_ionodes, figure_grid
+
+from repro.bench import EXPERIMENTS, run_panda_point, shape_for_mb
+from repro.machine import MB
+
+EXP = EXPERIMENTS["fig4"]
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return figure_grid("fig4")
+
+
+def test_normalized_band(grid):
+    assert_band(EXP, grid)
+
+
+def test_aggregate_scales_with_ionodes(grid):
+    assert_scales_with_ionodes(grid)
+
+
+def test_writes_slower_than_reads_in_aggregate(grid):
+    read_grid = figure_grid("fig3")
+    for mb in EXP.sizes_mb:
+        for n_io in EXP.ionodes:
+            assert grid[mb][n_io].aggregate < read_grid[mb][n_io].aggregate
+
+
+def test_per_ionode_close_to_aix_write_peak(grid):
+    """The paper's headline: Panda writes at close to the full capacity
+    of the AIX file system on every I/O node."""
+    p = grid[512][8]
+    per_node = p.aggregate / p.n_io
+    assert per_node > 0.85 * 2.23 * MB
+
+
+@pytest.mark.benchmark(group="fig4")
+@pytest.mark.parametrize("n_io", EXP.ionodes)
+def test_benchmark_write_64mb(benchmark, n_io):
+    point = run_once(
+        benchmark,
+        lambda: run_panda_point("write", 8, n_io, shape_for_mb(64)),
+    )
+    assert point.normalized() > 0.8

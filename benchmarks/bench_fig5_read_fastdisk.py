@@ -1,0 +1,56 @@
+"""Figure 5: *reading* 16-512 MB arrays from 32 compute nodes with an
+infinitely fast disk (file-system time zeroed), natural chunking.
+
+Paper claims: normalised throughput (against the 34 MB/s MPI peak) is
+"near 90% of peak MPI performance in most cases", and declines for
+small arrays because the ~13 ms startup overhead is included in the
+elapsed time.
+"""
+
+import pytest
+
+from conftest import run_once
+from figures import assert_band, figure_grid
+
+from repro.bench import EXPERIMENTS, run_panda_point, shape_for_mb
+
+EXP = EXPERIMENTS["fig5"]
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return figure_grid("fig5")
+
+
+def test_normalized_band(grid):
+    assert_band(EXP, grid)
+
+
+def test_large_arrays_near_90_percent_of_mpi(grid):
+    for n_io in EXP.ionodes:
+        assert grid[512][n_io].normalized() > 0.85
+
+
+def test_normalized_declines_for_small_arrays(grid):
+    """Startup overhead dominates as elapsed time shrinks."""
+    for n_io in EXP.ionodes:
+        assert grid[16][n_io].normalized() < grid[512][n_io].normalized()
+    # strongest effect at the largest I/O-node count (shortest elapsed)
+    assert grid[16][8].normalized() <= grid[16][2].normalized() + 0.02
+
+
+def test_fast_disk_much_faster_than_real_disk(grid):
+    real = run_panda_point("read", 32, 8, shape_for_mb(64))
+    fast = grid[64][8]
+    assert fast.aggregate > 5 * real.aggregate
+
+
+@pytest.mark.benchmark(group="fig5")
+@pytest.mark.parametrize("n_io", EXP.ionodes)
+def test_benchmark_read_fastdisk_256mb(benchmark, n_io):
+    point = run_once(
+        benchmark,
+        lambda: run_panda_point("read", 32, n_io, shape_for_mb(256),
+                                fast_disk=True),
+    )
+    assert point.normalized() > 0.8

@@ -1,0 +1,71 @@
+"""Figure 6: *writing* 16-512 MB arrays from 32 compute nodes with an
+infinitely fast disk, natural chunking.
+
+The distinctive claim of Figures 5/6 is read/write *symmetry*: "The
+throughputs will be similar for both reads and writes, since the
+gathering and scattering of array data between the Panda servers and
+clients are essentially identical with respect to total number of
+messages and message sizes."  We assert that symmetry quantitatively.
+"""
+
+import pytest
+
+from conftest import run_once
+from figures import assert_band, figure_grid
+
+from repro.bench import EXPERIMENTS, run_panda_point, shape_for_mb
+
+EXP = EXPERIMENTS["fig6"]
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return figure_grid("fig6")
+
+
+def test_normalized_band(grid):
+    assert_band(EXP, grid)
+
+
+def test_read_write_symmetry_under_fast_disk(grid):
+    read_grid = figure_grid("fig5")
+    for mb in EXP.sizes_mb:
+        for n_io in EXP.ionodes:
+            w = grid[mb][n_io].aggregate
+            r = read_grid[mb][n_io].aggregate
+            assert abs(w - r) / max(w, r) < 0.10, (
+                f"{mb} MB, {n_io} ionodes: write {w:.0f} vs read {r:.0f}"
+            )
+
+
+def test_message_counts_match_between_read_and_write():
+    """The mechanism behind the symmetry: same number of data messages
+    (one per sub-chunk piece) either direction."""
+    from repro.core import PandaRuntime
+    from repro.core.protocol import Tags
+    from repro.bench.harness import build_array
+    from repro.machine import sp2
+    from repro.workloads import read_array_app, write_array_app
+
+    arr = build_array(shape_for_mb(16), 32, 4, "natural")
+    rt = PandaRuntime(n_compute=32, n_io=4, spec=sp2(fast_disk=True),
+                      real_payloads=False, trace=True)
+    rt.run(write_array_app([arr], "x"))
+    writes = sum(1 for m in rt.trace.select(kind="message")
+                 if m["tag"] == Tags.DATA)
+    before = len(rt.trace.records)
+    rt.run(read_array_app([arr], "x"))
+    reads = sum(1 for m in rt.trace.records[before:]
+                if m.kind == "message" and m.detail["tag"] == Tags.PIECE)
+    assert reads == writes
+
+
+@pytest.mark.benchmark(group="fig6")
+@pytest.mark.parametrize("n_io", EXP.ionodes)
+def test_benchmark_write_fastdisk_256mb(benchmark, n_io):
+    point = run_once(
+        benchmark,
+        lambda: run_panda_point("write", 32, n_io, shape_for_mb(256),
+                                fast_disk=True),
+    )
+    assert point.normalized() > 0.8

@@ -1,0 +1,77 @@
+"""Figure 9: *writing* arrays in traditional order from 16 compute
+nodes with an infinitely fast disk.
+
+With the disk removed, the reorganisation cost is finally visible:
+"the throughput for both reads and writes ranges from 38-86% of peak
+MPI performance", clearly below the natural-chunking fast-disk runs of
+Figures 5/6.  The paper adds: "We believe that these throughputs can be
+improved by using non-blocking communication when performing data
+rearrangement" -- Panda's ``nonblocking`` option implements exactly
+that, and this module measures the improvement.
+"""
+
+import pytest
+
+from conftest import publish, run_once
+from figures import assert_band, figure_grid
+
+from repro.bench import EXPERIMENTS, run_panda_point, shape_for_mb
+from repro.bench.report import format_rows
+from repro.core import PandaConfig
+
+EXP = EXPERIMENTS["fig9"]
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return figure_grid("fig9")
+
+
+def test_normalized_band(grid):
+    assert_band(EXP, grid)
+
+
+def test_reorganisation_cost_visible_under_fast_disk(grid):
+    """Traditional order is clearly below natural chunking once the
+    disk no longer hides the rearrangement."""
+    for mb in (64, 512):
+        for n_io in (2, 8):
+            natural = run_panda_point("write", 16, n_io, shape_for_mb(mb),
+                                      disk_schema="natural", fast_disk=True)
+            assert grid[mb][n_io].normalized() < natural.normalized() - 0.03
+
+
+def test_nonblocking_communication_improves_rearrangement(grid):
+    """The paper's future-work claim, measured."""
+    rows = []
+    improved = 0
+    for mb in (64, 512):
+        for n_io in (2, 8):
+            nb = run_panda_point(
+                "write", 16, n_io, shape_for_mb(mb),
+                disk_schema="traditional", fast_disk=True,
+                config=PandaConfig(nonblocking=True),
+            )
+            base = grid[mb][n_io]
+            rows.append([
+                f"{mb} MB", str(n_io),
+                f"{base.normalized():.2f}", f"{nb.normalized():.2f}",
+            ])
+            if nb.normalized() > base.normalized() + 1e-6:
+                improved += 1
+            assert nb.normalized() >= base.normalized() - 1e-6
+    publish("fig9 extension: blocking vs non-blocking rearrangement\n\n"
+            + format_rows(rows, ["array", "ionodes", "blocking",
+                                 "non-blocking"]))
+    assert improved >= 2
+
+
+@pytest.mark.benchmark(group="fig9")
+@pytest.mark.parametrize("n_io", EXP.ionodes)
+def test_benchmark_write_trad_fastdisk_128mb(benchmark, n_io):
+    point = run_once(
+        benchmark,
+        lambda: run_panda_point("write", 16, n_io, shape_for_mb(128),
+                                disk_schema="traditional", fast_disk=True),
+    )
+    assert 0.3 < point.normalized() < 0.95

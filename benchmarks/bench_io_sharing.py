@@ -1,0 +1,103 @@
+"""Extension (paper future work): the impact of I/O-node sharing.
+
+"as Panda makes it possible for each application on the SP2 to have its
+own dedicated set of i/o nodes, we are curious about the impact of i/o
+node sharing on i/o-intensive applications."  (paper, section 5)
+
+We run the experiment the paper only poses: two I/O-intensive
+applications, either each with its own dedicated I/O nodes or both
+sharing a pool of the same total size, and measure per-application and
+combined completion times.
+
+Finding (published below): Panda servers serve collectives FIFO, so
+sharing a pool gives the first-arriving application the *whole* pool's
+bandwidth (finishing faster than with its dedicated half) while the
+second queues -- combined completion is about the same, but per-app
+latency becomes arrival-order dependent.  Dedicated nodes give
+predictable isolation; a shared pool gives better best-case latency.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import publish, run_once
+
+from repro.bench.report import format_rows
+from repro.core import Array, ArrayGroup, ArrayLayout, BLOCK, PandaRuntime
+from repro.machine import MB
+
+SHAPE = (128, 128, 128)  # 16 MB per application
+
+
+def writer_app(name):
+    mem = ArrayLayout("mem", (2, 2))
+    arr = Array(name, SHAPE, np.float64, mem, [BLOCK, BLOCK, "*"])
+    group = ArrayGroup(name)
+    group.include(arr)
+
+    def app(ctx):
+        ctx.bind(arr)
+        yield from group.write(ctx, name)
+
+    return app
+
+
+def dedicated() -> dict:
+    """Each app has 4 compute nodes and its own 2 I/O nodes."""
+    times = {}
+    for name in ("a", "b"):
+        rt = PandaRuntime(n_compute=4, n_io=2, real_payloads=False)
+        res = rt.run(writer_app(name))
+        times[name] = res.ops[0].elapsed
+    return times
+
+
+def shared() -> dict:
+    """Both apps (4 compute nodes each) share one 4-I/O-node pool."""
+    rt = PandaRuntime(n_compute=8, n_io=4, real_payloads=False)
+    res = rt.run_partitioned([
+        (writer_app("a"), (0, 1, 2, 3)),
+        (writer_app("b"), (4, 5, 6, 7)),
+    ])
+    return {o.dataset: o.elapsed for o in res.ops}
+
+
+@pytest.fixture(scope="module")
+def times():
+    return dedicated(), shared()
+
+
+def test_publish_sharing_study(benchmark, times):
+    run_once(benchmark, lambda: None)
+    ded, shr = times
+    rows = [
+        ["app a", f"{ded['a']:.2f}", f"{shr['a']:.2f}"],
+        ["app b", f"{ded['b']:.2f}", f"{shr['b']:.2f}"],
+        ["combined (max)", f"{max(ded.values()):.2f}",
+         f"{max(shr.values()):.2f}"],
+    ]
+    publish("I/O-node sharing: 2 apps x 16 MB writes; dedicated 2+2 "
+            "ionodes vs shared pool of 4 (elapsed, s)\n\n"
+            + format_rows(rows, ["", "dedicated", "shared pool"]))
+
+
+def test_winner_gets_the_whole_pool(times):
+    ded, shr = times
+    assert min(shr.values()) < 0.6 * ded["a"]
+
+
+def test_loser_queues_behind_the_winner(times):
+    ded, shr = times
+    assert max(shr.values()) > 1.4 * min(shr.values())
+
+
+def test_combined_completion_comparable(times):
+    """Total disk work is identical, so the makespan is within ~15%
+    either way (the shared pool wins slightly: no idle servers)."""
+    ded, shr = times
+    assert max(shr.values()) == pytest.approx(max(ded.values()), rel=0.15)
+
+
+def test_dedicated_runs_are_symmetric(times):
+    ded, _ = times
+    assert ded["a"] == pytest.approx(ded["b"], rel=1e-9)

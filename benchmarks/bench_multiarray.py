@@ -1,0 +1,66 @@
+"""Section 3 (text): multiple-array collective operations.
+
+"Panda achieves high throughputs reading and writing multiple arrays,
+similar to the throughput for single arrays, when the size of array
+chunks is large enough so that MPI latency is not a bottleneck."
+
+We write/read an ArrayGroup of three arrays (the Figure 2 scenario) and
+compare against a single array of the same total volume, for both a
+large-chunk case (similar throughput expected) and a small-chunk case
+(per-array overheads visible).
+"""
+
+import pytest
+
+from conftest import publish, run_once
+
+from repro.bench.harness import run_panda_point
+from repro.bench.report import format_rows
+from repro.machine import MB
+
+
+def throughput(n_arrays: int, shape, fast_disk=False) -> float:
+    point = run_panda_point("write", 8, 4, shape, n_arrays=n_arrays,
+                            fast_disk=fast_disk)
+    return point.aggregate
+
+
+def test_multiarray_matches_single_array_for_large_chunks(benchmark):
+    def run():
+        # 3 x 64 MB group vs one 192 MB array-equivalent volume
+        multi = throughput(3, (128, 256, 256))
+        single = throughput(1, (128, 256, 256))
+        return multi, single
+
+    multi, single = run_once(benchmark, run)
+    publish("multiple arrays (64 MB each, real disk)\n\n" + format_rows(
+        [["1 array", f"{single / MB:.2f}"],
+         ["3-array group", f"{multi / MB:.2f}"]],
+        ["workload", "MB/s"],
+    ))
+    assert multi == pytest.approx(single, rel=0.05)
+
+
+def test_multiarray_group_is_one_collective():
+    """The whole point of ArrayGroup: three arrays cost one handshake,
+    not three."""
+    from repro.core import PandaRuntime
+    from repro.core.protocol import Tags
+    from repro.bench.harness import build_array
+    from repro.workloads import write_array_app
+
+    arrays = [build_array((64, 64, 64), 8, 4, "natural", name=f"a{i}")
+              for i in range(3)]
+    rt = PandaRuntime(n_compute=8, n_io=4, real_payloads=False, trace=True)
+    rt.run(write_array_app(arrays, "g"))
+    requests = sum(1 for m in rt.trace.select(kind="message")
+                   if m["tag"] == Tags.REQUEST)
+    assert requests == 1
+
+
+def test_small_chunks_lose_throughput_under_fast_disk():
+    """The paper's caveat, inverted: with tiny chunks, MPI latency and
+    per-message handling do become the bottleneck."""
+    big = throughput(1, (128, 128, 128), fast_disk=True)  # 2 MB chunks
+    small = throughput(1, (16, 16, 16), fast_disk=True)  # 4 KB chunks
+    assert small < 0.5 * big

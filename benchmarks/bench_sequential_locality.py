@@ -1,0 +1,80 @@
+"""Section 1 (claim): chunked schemas help sequential consumers.
+
+"such schemas will in general improve performance for data consumers
+even on sequential platforms, because they increase the locality of
+data across multiple dimensions, thus typically reducing the number of
+disk accesses that an application must do to obtain a working set of
+data in memory."
+
+We quantify the claim on a single simulated workstation: read cubic
+working sets of a 3-D array stored (a) in traditional row-major order
+and (b) chunked at several granularities, counting disk requests and
+elapsed time.
+"""
+
+import pytest
+
+from conftest import publish, run_once
+
+from repro.core.sequential import SequentialPanda, row_major_schema
+from repro.bench.report import format_rows
+from repro.machine import MB
+from repro.schema import DataSchema, Region
+
+SHAPE = (128, 128, 128)  # 16 MB of doubles
+WORKING_SET = Region((32, 32, 32), (96, 96, 96))  # aligned 64^3 = 2 MB
+
+
+def read_stats(schema):
+    sp = SequentialPanda(real=False)
+    sp.store("a", None, schema)
+    _, stats = sp.load_subarray("a", WORKING_SET)
+    return stats
+
+
+def layouts():
+    out = {"row-major": row_major_schema(SHAPE)}
+    for parts in (2, 4, 8):
+        out[f"chunked {128 // parts}^3"] = DataSchema.build(
+            SHAPE, (parts,) * 3, ["BLOCK"] * 3
+        )
+    return out
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return {name: read_stats(schema) for name, schema in layouts().items()}
+
+
+def test_publish_locality_study(benchmark, stats):
+    run_once(benchmark, lambda: None)
+    rows = [
+        [name, str(s.requests), f"{s.elapsed:.2f}",
+         f"{s.throughput / MB:.2f}"]
+        for name, s in stats.items()
+    ]
+    publish("sequential-consumer locality: 64^3 working set from a "
+            "128^3 array (one workstation)\n\n"
+            + format_rows(rows, ["layout", "disk requests", "elapsed s",
+                                 "MB/s"]))
+
+
+def test_row_major_pays_per_row():
+    s = read_stats(row_major_schema(SHAPE))
+    assert s.requests == 64 * 64  # one per (i, j) row of the working set
+
+
+def test_chunked_layouts_cut_requests_by_orders_of_magnitude(stats):
+    rm = stats["row-major"].requests
+    assert stats["chunked 32^3"].requests <= rm / 100
+
+
+def test_chunked_layouts_cut_elapsed_time(stats):
+    rm = stats["row-major"].elapsed
+    best = min(s.elapsed for n, s in stats.items() if n != "row-major")
+    assert best < rm / 3
+
+
+def test_all_layouts_read_the_same_bytes(stats):
+    volumes = {s.bytes_read for s in stats.values()}
+    assert volumes == {WORKING_SET.size * 8}

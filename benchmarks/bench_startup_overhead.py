@@ -1,0 +1,56 @@
+"""Section 3 (text): Panda's startup overhead.
+
+"the startup overhead for Panda (measured as approximately .013
+seconds) begins to dominate the elapsed time" for small arrays on fast
+disks.  We measure it the only way it can be measured: the elapsed time
+of a collective whose data volume is negligible, under an infinitely
+fast disk.
+"""
+
+import pytest
+
+from conftest import publish, run_once
+
+from repro.bench.harness import run_panda_point
+from repro.bench.report import format_rows
+
+
+def startup(n_compute: int, n_io: int) -> float:
+    point = run_panda_point("write", n_compute, n_io, (8, 8, 8),
+                            fast_disk=True)
+    return point.elapsed
+
+
+def test_startup_overhead_close_to_13ms(benchmark):
+    """The paper's configuration sizes; all should land near 13 ms."""
+    def run():
+        return {(c, i): startup(c, i)
+                for c in (8, 16, 32) for i in (2, 4, 8)}
+
+    times = run_once(benchmark, run)
+    rows = [[f"{c}", f"{i}", f"{t * 1000:.1f} ms"]
+            for (c, i), t in sorted(times.items())]
+    publish("startup overhead (paper: ~13 ms)\n\n"
+            + format_rows(rows, ["compute", "ionodes", "elapsed"]))
+    for (c, i), t in times.items():
+        assert 0.006 < t < 0.025, f"{c} CN / {i} ION startup {t * 1000:.1f} ms"
+    assert times[(32, 8)] == pytest.approx(0.013, abs=0.004)
+
+
+def test_startup_grows_mildly_with_node_counts():
+    """More clients/servers mean more handshake messages, but the cost
+    stays within a factor of ~2 over the range the paper used."""
+    small = startup(8, 2)
+    large = startup(32, 8)
+    assert large >= small
+    assert large < 2.5 * small
+
+
+def test_startup_dominates_small_fast_disk_ops():
+    """The mechanism of the Figures 5/6 decline: elapsed(16 MB, fast
+    disk) is within a few x of the pure startup cost."""
+    tiny = startup(32, 8)
+    point = run_panda_point("write", 32, 8, (128, 128, 128),
+                            fast_disk=True)  # 16 MB
+    assert point.elapsed < tiny + 0.1  # data adds ~60-70 ms
+    assert tiny / point.elapsed > 0.1  # startup is a visible fraction

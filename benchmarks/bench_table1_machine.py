@@ -1,0 +1,118 @@
+"""Table 1: machine characteristics of the (simulated) NAS IBM SP2.
+
+The paper's Table 1 mixes hardware constants with two *measured*
+quantities: the peak AIX file-system throughput for reads/writes
+(obtained with 1 MB requests on 32-64 MB files) and the NAS-measured
+MPI latency/bandwidth.  This module performs the same measurements
+against the simulated machine and checks they reproduce the table.
+"""
+
+import pytest
+
+from conftest import publish, run_once
+
+from repro.bench.report import format_rows
+from repro.fs import FileSystem
+from repro.machine import KB, MB, NAS_SP2
+from repro.mpi import Network
+from repro.mpi.datatypes import DataBlock
+from repro.mpi.message import MESSAGE_HEADER_BYTES
+from repro.sim import Simulator
+
+
+def measure_fs_peak(write: bool, file_mb: int = 32, request: int = MB) -> float:
+    """The paper's AIX measurement: stream a 32-64 MB file in 1 MB
+    requests, report bytes/second."""
+    sim = Simulator()
+    fs = FileSystem(sim, NAS_SP2, real=False)
+    n_requests = file_mb * MB // request
+
+    def setup(sim):
+        fh = fs.open("peak", "w")
+        for _ in range(n_requests):
+            yield from fh.write(DataBlock.virtual(request))
+        fh.close()
+
+    sim.run_process(setup(sim))
+    t0 = sim.now
+
+    def measured(sim):
+        fh = fs.open("peak", "w" if write else "r")
+        for _ in range(n_requests):
+            if write:
+                yield from fh.write(DataBlock.virtual(request))
+            else:
+                yield from fh.read(request)
+        fh.close()
+
+    sim.run_process(measured(sim))
+    return n_requests * request / (sim.now - t0)
+
+
+def measure_mpi(nbytes: int, trips: int = 10) -> float:
+    """Ping-pong; returns seconds per one-way message."""
+    sim = Simulator()
+    net = Network(sim, NAS_SP2, 2)
+
+    def rank0(sim):
+        for _ in range(trips):
+            yield from net.comm(0).send(1, tag=1, nbytes=nbytes)
+            yield from net.comm(0).recv(tag=2)
+
+    def rank1(sim):
+        for _ in range(trips):
+            yield from net.comm(1).recv(tag=1)
+            yield from net.comm(1).send(0, tag=2, nbytes=nbytes)
+
+    sim.spawn(rank0(sim))
+    sim.spawn(rank1(sim))
+    sim.run()
+    return sim.now / (2 * trips)
+
+
+def test_table1_report(benchmark):
+    def run():
+        return {
+            "read_peak": measure_fs_peak(write=False),
+            "write_peak": measure_fs_peak(write=True),
+            "latency": measure_mpi(0),
+            "bandwidth": (MB + MESSAGE_HEADER_BYTES)
+            / (measure_mpi(MB) - measure_mpi(0)),
+        }
+
+    m = run_once(benchmark, run)
+    rows = [
+        ["Measured peak AIX read throughput",
+         f"{m['read_peak'] / MB:.2f} MB/s", "2.85 MB/s"],
+        ["Measured peak AIX write throughput",
+         f"{m['write_peak'] / MB:.2f} MB/s", "2.23 MB/s"],
+        ["Message passing latency",
+         f"{m['latency'] * 1e6:.0f} us", "43 us"],
+        ["Message passing bandwidth",
+         f"{m['bandwidth'] / MB:.1f} MB/s", "34 MB/s"],
+        ["Disk peak transfer rate",
+         f"{NAS_SP2.disk_transfer_rate / MB:.1f} MB/s", "3.0 MB/s"],
+        ["Node file system block size",
+         f"{NAS_SP2.fs_block_size // KB} KB", "4 KB"],
+        ["Total nodes", str(NAS_SP2.total_nodes), "160"],
+        ["Memory per node", f"{NAS_SP2.node_memory // MB} MB", "128 MB"],
+    ]
+    publish("table1: simulated machine vs the paper\n\n"
+            + format_rows(rows, ["characteristic", "measured", "paper"]))
+    assert m["read_peak"] / MB == pytest.approx(2.85, rel=0.01)
+    assert m["write_peak"] / MB == pytest.approx(2.23, rel=0.01)
+    assert m["latency"] == pytest.approx(43e-6, rel=0.05)
+    assert m["bandwidth"] / MB == pytest.approx(34, rel=0.02)
+
+
+def test_small_request_throughput_declines(benchmark):
+    """The paper's stated reason for the small-chunk performance drop."""
+    def run():
+        return {
+            1024 * KB: measure_fs_peak(write=True, request=1024 * KB),
+            256 * KB: measure_fs_peak(write=True, file_mb=8, request=256 * KB),
+            64 * KB: measure_fs_peak(write=True, file_mb=2, request=64 * KB),
+        }
+
+    thr = run_once(benchmark, run)
+    assert thr[64 * KB] < thr[256 * KB] < thr[1024 * KB]

@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the paper-reproduction benchmarks.
+
+Every ``bench_figN_*.py`` module follows the same pattern:
+
+- a module-scoped ``grid`` fixture runs the figure's full parameter
+  grid once and prints the paper-style result tables (run pytest with
+  ``-s`` to see them; they are also appended to
+  ``benchmarks/results.txt``);
+- band-assertion tests check the normalised throughputs against the
+  paper's stated ranges;
+- ``test_benchmark_*`` functions time representative points under
+  pytest-benchmark (one round -- the simulation is deterministic, so
+  repetition would only measure the host machine's noise).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+_truncated = False
+
+
+def publish(text: str) -> None:
+    """Print a result table and append it to benchmarks/results.txt.
+    The file is truncated lazily on the session's first publish, so a
+    ``--benchmark-only`` pass (which skips the table-producing tests)
+    leaves the previously published tables intact."""
+    global _truncated
+    print("\n" + text)
+    mode = "a" if _truncated or not RESULTS_PATH.exists() else "w"
+    if not _truncated:
+        mode = "w"
+        _truncated = True
+    with RESULTS_PATH.open(mode) as fh:
+        fh.write(text + "\n\n")
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once under pytest-benchmark (simulations are
+    deterministic; wall-clock repetitions add no information)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

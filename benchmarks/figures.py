@@ -1,0 +1,64 @@
+"""Shared machinery for the per-figure benchmark modules.
+
+Each figure module calls :func:`figure_grid` once (module-scoped) and
+then makes figure-specific assertions; the heavy lifting and the
+paper-style reporting live here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from conftest import publish
+
+from repro.bench import (
+    EXPERIMENTS,
+    Experiment,
+    PointResult,
+    format_figure,
+    run_figure,
+)
+
+_cache: Dict[str, Dict[int, Dict[int, PointResult]]] = {}
+
+
+def figure_grid(figure: str) -> Dict[int, Dict[int, PointResult]]:
+    """Run (once per session) and publish a figure's full grid."""
+    if figure not in _cache:
+        exp = EXPERIMENTS[figure]
+        grid = run_figure(exp)
+        publish(format_figure(figure, exp.title, grid))
+        _cache[figure] = grid
+    return _cache[figure]
+
+
+def all_points(grid):
+    for row in grid.values():
+        yield from row.values()
+
+
+def assert_band(exp: Experiment, grid) -> None:
+    """Every point's normalised throughput lies in the paper's band
+    (with a little slack below, since the paper's lower bounds come
+    from its own worst-case points)."""
+    lo, hi = exp.band
+    for p in all_points(grid):
+        n = p.normalized()
+        assert lo - 0.08 <= n <= hi + 0.04, (
+            f"{exp.figure}: {p.array_bytes >> 20} MB on {p.n_io} ionodes "
+            f"normalised to {n:.3f}, outside [{lo}, {hi}]"
+        )
+
+
+def assert_scales_with_ionodes(grid, min_ratio: float = 1.6) -> None:
+    """Aggregate throughput grows when I/O nodes are added (the paper's
+    scalability claim): doubling servers buys at least ``min_ratio``."""
+    for size_mb, row in grid.items():
+        ns = sorted(row)
+        for a, b in zip(ns, ns[1:]):
+            ratio_nodes = b / a
+            ratio_thr = row[b].aggregate / row[a].aggregate
+            assert ratio_thr >= min_ratio * ratio_nodes / 2, (
+                f"{size_mb} MB: {a}->{b} ionodes only scaled "
+                f"{ratio_thr:.2f}x"
+            )

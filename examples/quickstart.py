@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: write and read a distributed 3-D array with Panda.
+
+This is the smallest complete Panda program: declare an array with an
+HPF-style BLOCK,BLOCK,BLOCK memory schema over a 2x2x2 mesh of compute
+nodes, write it collectively through 2 I/O nodes (natural chunking),
+read it back, and verify the round trip bit-for-bit.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import Array, ArrayGroup, ArrayLayout, BLOCK, PandaRuntime
+from repro.machine import MB
+from repro.workloads import distribute, make_global_array
+
+N_COMPUTE, N_IO = 8, 2
+SHAPE = (32, 32, 32)
+
+
+def main():
+    # --- declarations (shared by all ranks, Figure 2 style) -------------
+    memory = ArrayLayout("memory layout", (2, 2, 2))
+    temperature = Array("temperature", SHAPE, np.float64,
+                        memory, (BLOCK, BLOCK, BLOCK))
+    dataset = ArrayGroup("quickstart")
+    dataset.include(temperature)
+
+    # --- the data: a deterministic global array, decomposed per rank ----
+    global_array = make_global_array(SHAPE)
+    chunks = distribute(global_array, temperature.memory_schema)
+
+    # --- the SPMD application: one generator per compute rank ------------
+    def app(ctx):
+        local = ctx.bind(temperature, chunks[ctx.rank].copy())
+        yield from dataset.write(ctx)  # collective write
+        local[...] = 0  # lose the data...
+        yield from dataset.read(ctx)  # ...and restore it collectively
+
+    runtime = PandaRuntime(n_compute=N_COMPUTE, n_io=N_IO)
+    result = runtime.run(app)
+
+    # --- verify and report ------------------------------------------------
+    for rank in range(N_COMPUTE):
+        got = runtime._client_state[rank]["data"]["temperature"]
+        np.testing.assert_array_equal(got, chunks[rank])
+    write_op, read_op = result.ops
+    nbytes = temperature.nbytes
+    print(f"array: {SHAPE} float64 = {nbytes / MB:.2f} MB on "
+          f"{N_COMPUTE} compute + {N_IO} I/O nodes")
+    print(f"collective write: {write_op.elapsed:.3f} s simulated "
+          f"({write_op.throughput / MB:.2f} MB/s aggregate)")
+    print(f"collective read:  {read_op.elapsed:.3f} s simulated "
+          f"({read_op.throughput / MB:.2f} MB/s aggregate)")
+    print("round trip verified bit-for-bit on every rank")
+
+
+if __name__ == "__main__":
+    main()

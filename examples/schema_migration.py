@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Schema reorganisation and data migration to a sequential platform.
+
+The paper (section 3): "Declaring a BLOCK,*,* disk schema will place
+the array in traditional order across several disks, so that the data
+can be migrated to a sequential machine with the array in a single file
+in traditional order by simply concatenating all the files on the i/o
+nodes together."
+
+This example:
+
+1. writes an array that lives BLOCK,BLOCK,BLOCK in memory with a
+   BLOCK,*,* (traditional order) disk schema -- Panda reorganises the
+   data on the fly during the collective write;
+2. plays the "visualizer on a sequential platform": concatenates the
+   per-I/O-node files into a single byte stream and interprets it as a
+   plain row-major array, no Panda required;
+3. reads the same dataset back into a *different* memory schema than it
+   was written from, showing the disk schema is the only contract;
+4. compares the cost of the reorganising write against natural chunking.
+
+Run:  python examples/schema_migration.py
+"""
+
+import numpy as np
+
+from repro.core import Array, ArrayLayout, BLOCK, NONE, PandaRuntime
+from repro.core.reconstruct import concatenate_server_files
+from repro.machine import MB
+from repro.workloads import (
+    distribute,
+    make_global_array,
+    read_array_app,
+    write_array_app,
+)
+
+SHAPE = (64, 128, 128)  # 8 MB: 1 MB chunks under natural chunking
+N_COMPUTE, N_IO = 8, 4
+
+
+def main():
+    global_array = make_global_array(SHAPE)
+
+    # --- 1. reorganising write: BBB memory -> BLOCK,*,* disk --------------
+    mem = ArrayLayout("memory layout", (2, 2, 2))
+    disk = ArrayLayout("disk layout", (N_IO,))
+    velocity = Array("velocity", SHAPE, np.float64,
+                     mem, (BLOCK, BLOCK, BLOCK),
+                     disk, (BLOCK, NONE, NONE))
+    chunks = distribute(global_array, velocity.memory_schema)
+
+    runtime = PandaRuntime(n_compute=N_COMPUTE, n_io=N_IO)
+    result = runtime.run(
+        write_array_app([velocity], "migration", {"velocity": chunks})
+    )
+    write_op = result.ops[0]
+    print(f"reorganising write ({velocity.memory_schema!r} -> "
+          f"{velocity.disk_schema!r}):")
+    print(f"  {write_op.total_bytes / MB:.1f} MB in {write_op.elapsed:.3f} s "
+          f"simulated ({write_op.throughput / MB:.2f} MB/s)")
+
+    # --- 2. the sequential consumer: concatenate the server files ----------
+    blob = concatenate_server_files(runtime, "migration")
+    as_array = np.frombuffer(blob, dtype=np.float64).reshape(SHAPE)
+    np.testing.assert_array_equal(as_array, global_array)
+    sizes = [runtime.filesystem(s).size(f"migration.s{s}.panda")
+             for s in range(N_IO)]
+    print(f"  server files: {[f'{x / MB:.2f} MB' for x in sizes]}")
+    print("  concatenation == row-major array: verified "
+          "(a sequential visualizer could mmap this)")
+
+    # --- 3. read back under a different memory schema -----------------------
+    mem2 = ArrayLayout("other memory layout", (8,))
+    velocity2 = Array("velocity", SHAPE, np.float64,
+                      mem2, (BLOCK, NONE, NONE),
+                      disk, (BLOCK, NONE, NONE))
+    runtime.run(read_array_app([velocity2], "migration"))
+    expected = distribute(global_array, velocity2.memory_schema)
+    for rank in range(N_COMPUTE):
+        np.testing.assert_array_equal(
+            runtime._client_state[rank]["data"]["velocity"], expected[rank]
+        )
+    print("  re-read into a different memory schema (BLOCK,*,* over 8 "
+          "ranks): verified")
+
+    # --- 4. what did the reorganisation cost? ------------------------------
+    natural = Array("velocity", SHAPE, np.float64, mem, (BLOCK,) * 3)
+    rt2 = PandaRuntime(n_compute=N_COMPUTE, n_io=N_IO)
+    nat_op = rt2.run(
+        write_array_app([natural], "nat",
+                        {"velocity": distribute(global_array,
+                                                natural.memory_schema)})
+    ).ops[0]
+    overhead = write_op.elapsed / nat_op.elapsed - 1
+    print(f"reorganisation overhead vs natural chunking: "
+          f"{overhead * 100:+.1f}% elapsed time "
+          "(the 2.23 MB/s disk hides most of it, as in the paper)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Baseline collective-I/O strategies the paper compares against.
+
+The paper's related-work section (and [Kotz94b]'s taxonomy) names three
+alternatives to server-directed I/O; we implement all of them on the
+same simulated machine so the benchmark harness can reproduce the
+qualitative comparison:
+
+- :mod:`repro.baselines.naive_striping` -- **compute-node-directed,
+  uncached**: every client writes/reads its own strided pieces of a
+  striped row-major file directly, in its own order.  The disk sees
+  many small non-sequential requests ("servicing disk i/o requests as
+  they arrive in random order").
+- :mod:`repro.baselines.traditional` -- **traditional caching** (Intel
+  CFS style, [Pierce93]): same request stream, but each I/O node runs a
+  Unix-style buffer cache with prefetch and write-behind.  The cache
+  recovers part of the loss; [Kotz93b] measured CFS at about half the
+  raw disk bandwidth.
+- :mod:`repro.baselines.two_phase` -- **two-phase I/O**
+  ([Bordawekar93]): compute nodes first permute data among themselves
+  into a distribution conforming to the file layout, then perform
+  large contiguous I/O.
+
+All three move real bytes (verified against the written layout) and
+share the infrastructure in :mod:`repro.baselines.common`.
+"""
+
+from repro.baselines.client_directed import run_client_directed
+from repro.baselines.common import (
+    BaselineResult,
+    BaselineRuntime,
+    StripedLayout,
+)
+from repro.baselines.naive_striping import run_naive_striping
+from repro.baselines.traditional import run_traditional_caching
+from repro.baselines.two_phase import run_two_phase
+
+__all__ = [
+    "BaselineResult",
+    "BaselineRuntime",
+    "StripedLayout",
+    "run_client_directed",
+    "run_naive_striping",
+    "run_traditional_caching",
+    "run_two_phase",
+]

@@ -1,0 +1,56 @@
+"""Paper-style text rendering of benchmark results.
+
+Each figure of the paper is a pair of bar charts -- aggregate MB/s and
+normalised throughput, one group per I/O-node count, one bar per array
+size.  We render the same data as two aligned tables, one row per array
+size, one column per I/O-node count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+from repro.bench.harness import PointResult
+
+__all__ = ["format_figure", "format_rows"]
+
+
+def format_rows(rows: Iterable[Sequence[str]], header: Sequence[str]) -> str:
+    """Align a header + rows into a fixed-width table."""
+    table = [list(header)] + [list(r) for r in rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(header))]
+    lines = []
+    for i, row in enumerate(table):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_figure(figure: str, title: str,
+                  grid: Dict[int, Dict[int, PointResult]]) -> str:
+    """Render one figure's grid the way the paper reports it."""
+    sizes = sorted(grid)
+    ionodes = sorted(next(iter(grid.values())))
+    header = ["array"] + [f"{n} ionodes" for n in ionodes]
+    agg_rows = []
+    norm_rows = []
+    for mb in sizes:
+        agg_rows.append(
+            [f"{mb} MB"]
+            + [f"{grid[mb][n].aggregate_mbps:.2f}" for n in ionodes]
+        )
+        norm_rows.append(
+            [f"{mb} MB"]
+            + [f"{grid[mb][n].normalized():.2f}" for n in ionodes]
+        )
+    out = [
+        f"{figure}: {title}",
+        "",
+        "aggregate throughput (MB/s):",
+        format_rows(agg_rows, header),
+        "",
+        "normalized throughput (per-ionode / peak):",
+        format_rows(norm_rows, header),
+    ]
+    return "\n".join(out)

@@ -1,0 +1,72 @@
+"""Text timelines of I/O activity, rendered from a run's trace.
+
+The paper's performance sections reason about *phases*: when a server
+is reading its disk, when it is gathering from clients, when the
+startup handshake happens.  :func:`disk_timeline` turns a traced run
+into a fixed-width Gantt strip per I/O node, so examples and debugging
+sessions can see the overlap structure instead of inferring it:
+
+    ionode0.disk |--WWWWWWWWWWWW--WWWWWWWWWWWWW-|
+    ionode1.disk |--WWWWWWWWWWWWWWWWWWWWWWWWW---|
+
+``W``/``R`` mark time buckets dominated by disk writes/reads, ``-`` is
+idle (from the disk's point of view: protocol and network time).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.trace import Trace
+
+__all__ = ["disk_timeline", "activity_spans"]
+
+
+def activity_spans(trace: Trace, kind: str) -> Dict[str, List[Tuple[float, float]]]:
+    """Per-source (start, end) spans of traced disk activity of one
+    kind.  Records carry their completion time and service duration."""
+    spans: Dict[str, List[Tuple[float, float]]] = {}
+    for rec in trace.select(kind=kind):
+        service = rec.detail.get("service", 0.0)
+        spans.setdefault(rec.source, []).append((rec.time - service, rec.time))
+    return spans
+
+
+def disk_timeline(trace: Trace, width: int = 60,
+                  t0: Optional[float] = None,
+                  t1: Optional[float] = None) -> str:
+    """Render per-I/O-node disk activity as fixed-width strips."""
+    writes = activity_spans(trace, "disk_write")
+    reads = activity_spans(trace, "disk_read")
+    sources = sorted(set(writes) | set(reads))
+    if not sources:
+        return "(no disk activity traced)"
+    all_spans = [s for m in (writes, reads) for v in m.values() for s in v]
+    lo = min(s[0] for s in all_spans) if t0 is None else t0
+    hi = max(s[1] for s in all_spans) if t1 is None else t1
+    if hi <= lo:
+        hi = lo + 1e-9
+    bucket = (hi - lo) / width
+
+    def busy_in_bucket(spans, b):
+        b_lo = lo + b * bucket
+        b_hi = b_lo + bucket
+        return sum(
+            max(0.0, min(e, b_hi) - max(s, b_lo)) for s, e in spans
+        )
+
+    lines = [f"timeline {lo:.3f}s .. {hi:.3f}s  ({bucket * 1000:.1f} ms/char)"]
+    label_w = max(len(s) for s in sources)
+    for src in sources:
+        strip = []
+        for b in range(width):
+            w = busy_in_bucket(writes.get(src, []), b)
+            r = busy_in_bucket(reads.get(src, []), b)
+            if w == 0 and r == 0:
+                strip.append("-")
+            elif w >= r:
+                strip.append("W")
+            else:
+                strip.append("R")
+        lines.append(f"{src.rjust(label_w)} |{''.join(strip)}|")
+    return "\n".join(lines)

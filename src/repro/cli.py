@@ -1,0 +1,221 @@
+"""Command-line interface: regenerate the paper's results without pytest.
+
+Usage::
+
+    python -m repro figures fig3 fig4        # paper-style figure tables
+    python -m repro figures --sizes 16,64    # subset of the size sweep
+    python -m repro table1                   # the machine-measurement table
+    python -m repro predict --kind write --compute 16 --io 4 \\
+        --size-mb 64 --schema traditional    # analytic cost model
+    python -m repro compare --size-mb 16     # strategy comparison
+
+Everything prints the same tables the benchmark suite publishes to
+``benchmarks/results.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.bench import (
+    EXPERIMENTS,
+    format_figure,
+    run_figure,
+    run_panda_point,
+    shape_for_mb,
+)
+from repro.bench.harness import build_array
+from repro.bench.report import format_rows
+from repro.core.costmodel import predict_arrays
+from repro.machine import MB, NAS_SP2, sp2
+
+__all__ = ["main"]
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    names = args.figure or sorted(EXPERIMENTS)
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(f"unknown figure {name!r}; known: {sorted(EXPERIMENTS)}",
+                  file=sys.stderr)
+            return 2
+    for name in names:
+        exp = EXPERIMENTS[name]
+        if args.sizes:
+            exp = replace(exp, sizes_mb=tuple(args.sizes))
+        grid = run_figure(exp)
+        print(format_figure(name, exp.title, grid))
+        print()
+    return 0
+
+
+def _measure_table1() -> List[List[str]]:
+    from repro.fs import FileSystem
+    from repro.mpi import Network
+    from repro.mpi.datatypes import DataBlock
+    from repro.sim import Simulator
+
+    def fs_peak(write: bool) -> float:
+        sim = Simulator()
+        fs = FileSystem(sim, NAS_SP2, real=False)
+
+        def stream(sim, mode):
+            fh = fs.open("peak", mode)
+            for _ in range(32):
+                if mode != "r":
+                    yield from fh.write(DataBlock.virtual(MB))
+                else:
+                    yield from fh.read(MB)
+            fh.close()
+
+        sim.run_process(stream(sim, "w"))
+        t0 = sim.now
+        sim.run_process(stream(sim, "w" if write else "r"))
+        return 32 * MB / (sim.now - t0)
+
+    def pingpong(nbytes: int) -> float:
+        sim = Simulator()
+        net = Network(sim, NAS_SP2, 2)
+
+        def a(sim):
+            yield from net.comm(0).send(1, tag=1, nbytes=nbytes)
+            yield from net.comm(0).recv(tag=2)
+
+        def b(sim):
+            yield from net.comm(1).recv(tag=1)
+            yield from net.comm(1).send(0, tag=2, nbytes=nbytes)
+
+        sim.spawn(a(sim))
+        sim.spawn(b(sim))
+        sim.run()
+        return sim.now / 2
+
+    lat = pingpong(0)
+    bw = MB / (pingpong(MB) - lat)
+    return [
+        ["Measured peak AIX read", f"{fs_peak(False) / MB:.2f} MB/s",
+         "2.85 MB/s"],
+        ["Measured peak AIX write", f"{fs_peak(True) / MB:.2f} MB/s",
+         "2.23 MB/s"],
+        ["Message passing latency", f"{lat * 1e6:.0f} us", "43 us"],
+        ["Message passing bandwidth", f"{bw / MB:.1f} MB/s", "34 MB/s"],
+    ]
+
+
+def cmd_table1(_args: argparse.Namespace) -> int:
+    print("table1: simulated machine vs the paper\n")
+    print(format_rows(_measure_table1(), ["characteristic", "measured",
+                                          "paper"]))
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    shape = shape_for_mb(args.size_mb)
+    arr = build_array(shape, args.compute, args.io, args.schema)
+    spec = sp2(fast_disk=args.fast_disk)
+    pred = predict_arrays([arr], args.kind, args.compute, args.io, spec)
+    print(f"predicted {args.kind} of {args.size_mb} MB "
+          f"({args.schema} disk schema) on {args.compute} CN / "
+          f"{args.io} ION{' (fast disk)' if args.fast_disk else ''}:")
+    rows = [
+        ["elapsed", f"{pred.elapsed:.3f} s"],
+        ["aggregate", f"{args.size_mb * MB / pred.elapsed / MB:.2f} MB/s"],
+        ["startup", f"{pred.startup * 1000:.1f} ms"],
+        ["slowest-server disk", f"{pred.disk_time:.3f} s"],
+        ["slowest-server network", f"{pred.network_time:.3f} s"],
+        ["slowest-server copy", f"{pred.copy_time:.3f} s"],
+        ["bottleneck", pred.bottleneck],
+    ]
+    print(format_rows(rows, ["quantity", "value"]))
+    if args.verify:
+        sim = run_panda_point(args.kind, args.compute, args.io, shape,
+                              disk_schema=args.schema,
+                              fast_disk=args.fast_disk).elapsed
+        err = (pred.elapsed - sim) / sim * 100
+        print(f"\nsimulated: {sim:.3f} s (prediction error {err:+.1f}%)")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.baselines import (
+        BaselineRuntime,
+        run_naive_striping,
+        run_traditional_caching,
+        run_two_phase,
+    )
+
+    shape = shape_for_mb(args.size_mb)
+    n_cn, n_io = args.compute, args.io
+    spec = build_array(shape, n_cn, n_io, "natural").spec()
+    rows = []
+    p = run_panda_point("write", n_cn, n_io, shape)
+    rows.append(["Panda (natural)", f"{p.aggregate_mbps:.2f}"])
+    p = run_panda_point("write", n_cn, n_io, shape,
+                        disk_schema="traditional")
+    rows.append(["Panda (traditional order)", f"{p.aggregate_mbps:.2f}"])
+    rt = BaselineRuntime(n_cn, n_io, real_payloads=False, stripe_bytes=MB)
+    rows.append(["two-phase",
+                 f"{run_two_phase(rt, spec, 'write').throughput / MB:.2f}"])
+    rt = BaselineRuntime(n_cn, n_io, real_payloads=False, use_cache=True,
+                         cache_bytes=8 * MB, stripe_bytes=64 * 1024)
+    rows.append(["traditional caching",
+                 f"{run_traditional_caching(rt, spec, 'write').throughput / MB:.2f}"])
+    rt = BaselineRuntime(n_cn, n_io, real_payloads=False,
+                         stripe_bytes=64 * 1024)
+    rows.append(["naive striping",
+                 f"{run_naive_striping(rt, spec, 'write').throughput / MB:.2f}"])
+    print(f"strategy comparison: {args.size_mb} MB write, "
+          f"{n_cn} CN / {n_io} ION\n")
+    print(format_rows(rows, ["strategy", "MB/s"]))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Panda 2.0 (SC'95) reproduction: regenerate the "
+                    "paper's tables and figures",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figures", help="run figure grids (default all)")
+    p_fig.add_argument("figure", nargs="*", help="fig3 ... fig9")
+    p_fig.add_argument("--sizes", type=lambda s: [int(x) for x in s.split(",")],
+                       help="comma-separated MB sizes (subset of the sweep)")
+    p_fig.set_defaults(func=_cmd_figures)
+
+    p_t1 = sub.add_parser("table1", help="measure the simulated machine")
+    p_t1.set_defaults(func=cmd_table1)
+
+    p_pred = sub.add_parser("predict", help="analytic cost model")
+    p_pred.add_argument("--kind", choices=["read", "write"], default="write")
+    p_pred.add_argument("--compute", type=int, default=8)
+    p_pred.add_argument("--io", type=int, default=4)
+    p_pred.add_argument("--size-mb", type=int, default=64)
+    p_pred.add_argument("--schema", choices=["natural", "traditional"],
+                        default="natural")
+    p_pred.add_argument("--fast-disk", action="store_true")
+    p_pred.add_argument("--verify", action="store_true",
+                        help="also simulate and report prediction error")
+    p_pred.set_defaults(func=cmd_predict)
+
+    p_cmp = sub.add_parser("compare", help="strategy comparison")
+    p_cmp.add_argument("--size-mb", type=int, default=16)
+    p_cmp.add_argument("--compute", type=int, default=8)
+    p_cmp.add_argument("--io", type=int, default=4)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Panda 2.0 core: server-directed collective I/O for multidimensional
+arrays.
+
+This package is the paper's contribution.  The public application API
+(:class:`Array`, :class:`ArrayLayout`, :class:`ArrayGroup`,
+:data:`BLOCK`, :data:`NONE`) mirrors Figure 2 of the paper; the
+machinery beneath it implements the server-directed protocol of
+section 2:
+
+- clients issue one high-level collective request (master client ->
+  master server);
+- servers independently form I/O plans: disk chunks assigned round-robin
+  by chunk id, split into 1 MB sub-chunks that are consecutive row-major
+  spans;
+- for writes, each server *requests* logical sub-chunk pieces from the
+  clients that hold them, reassembles them in traditional order, and
+  appends to its file with strictly sequential writes; reads mirror
+  this, scattering sequentially-read sub-chunks back to clients;
+- servers never talk to each other (beyond the master's schema
+  broadcast), and clients never talk to each other (beyond the master's
+  completion broadcast).
+
+Entry point: :class:`PandaRuntime` wires an SPMD application function
+onto a simulated machine and runs it.
+"""
+
+from repro.core.api import Array, ArrayGroup, ArrayLayout, BLOCK, NONE
+from repro.core.config import PandaConfig
+from repro.core.costmodel import CostBreakdown, best_disk_schema, predict_arrays
+from repro.core.plan import ServerPlan, SubchunkPlan, build_server_plan
+from repro.core.protocol import ArraySpec, CollectiveOp
+from repro.core.runtime import ClientContext, OpRecord, PandaRuntime, RunResult
+
+__all__ = [
+    "Array",
+    "ArrayGroup",
+    "ArrayLayout",
+    "ArraySpec",
+    "BLOCK",
+    "CollectiveOp",
+    "ClientContext",
+    "CostBreakdown",
+    "NONE",
+    "OpRecord",
+    "PandaConfig",
+    "PandaRuntime",
+    "RunResult",
+    "ServerPlan",
+    "SubchunkPlan",
+    "best_disk_schema",
+    "build_server_plan",
+    "predict_arrays",
+]

@@ -1,0 +1,245 @@
+"""The Panda client: the library code linked into every compute node.
+
+Clients are deliberately thin -- the paper's architectural point is
+that *servers* direct the data flow.  A client:
+
+1. enters a collective operation (all ranks call with identical
+   arguments -- checked);
+2. if it is the **master client** (rank 0), sends the very-high-level
+   :class:`~repro.core.protocol.CollectiveOp` descriptor to the master
+   server -- the only request a client ever originates;
+3. services server-directed traffic until told the op is complete:
+   *writes*: answers :class:`FetchRequest`\\ s by gathering the logical
+   piece out of its local chunk ("the client is responsible for any
+   reorganization required to assemble the requested sub-chunk");
+   *reads*: scatters arriving :class:`PieceData` into its local chunk;
+4. the master client, once notified by the master server, broadcasts
+   completion to the other clients.
+
+Cost model at the client: per-message protocol handling, plus a
+gather/scatter memory copy **only when the piece is non-contiguous** in
+the local chunk (a contiguous piece is sent/received in place, as MPI
+allows).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.protocol import ArraySpec, CollectiveOp, FetchRequest, PieceData, Tags
+from repro.mpi.comm import Communicator
+from repro.mpi.datatypes import DataBlock
+from repro.schema.regions import Region
+from repro.schema.reorganize import extract_region, inject_region
+
+__all__ = ["PandaClient"]
+
+
+class PandaClient:
+    """One compute node's Panda endpoint.
+
+    ``group_ranks`` is the client's collective group in memory-mesh
+    order; it defaults to all compute ranks (one application owning the
+    machine).  When several applications share the I/O nodes, each
+    application's clients carry their own group.
+    """
+
+    def __init__(self, runtime, rank: int, comm: Communicator, state: dict,
+                 group_ranks: Optional[Tuple[int, ...]] = None) -> None:
+        self.runtime = runtime
+        self.rank = rank
+        self.comm = comm
+        self.group_ranks = (
+            tuple(group_ranks) if group_ranks is not None
+            else tuple(range(runtime.n_compute))
+        )
+        if rank not in self.group_ranks:
+            raise ValueError(
+                f"rank {rank} is not in its own client group {self.group_ranks}"
+            )
+        #: this rank's memory-mesh position within the group.
+        self.group_index = self.group_ranks.index(rank)
+        #: persistent per-rank state: op serial, group counters, bound data
+        self._state = state
+        state.setdefault("op_serial", 0)
+        state.setdefault("counters", {})
+        state.setdefault("checkpoints", {})
+        state.setdefault("data", {})
+
+    # -- application-facing state ------------------------------------------
+    @property
+    def is_master(self) -> bool:
+        return self.rank == self.group_ranks[0]
+
+    def bind(self, array, data: Optional[np.ndarray] = None) -> Optional[np.ndarray]:
+        """Register this rank's local chunk of ``array``.
+
+        In real-payload mode ``data`` must match the chunk's shape and
+        dtype (it is allocated when omitted); in virtual mode ``data``
+        must be omitted.  Returns the bound ndarray (or None).
+        """
+        spec = array.spec() if hasattr(array, "spec") else array
+        region = self._my_chunk_region(spec)
+        if not self.runtime.real_payloads:
+            if data is not None:
+                raise ValueError("cannot bind real data in virtual-payload mode")
+            self._state["data"][spec.name] = None
+            return None
+        if data is None:
+            data = np.zeros(region.shape, dtype=spec.np_dtype)
+        data = np.asarray(data)
+        if data.shape != region.shape:
+            raise ValueError(
+                f"rank {self.rank}: local data shape {data.shape} != chunk "
+                f"shape {region.shape} for array {spec.name!r}"
+            )
+        if data.dtype != spec.np_dtype:
+            raise ValueError(
+                f"rank {self.rank}: dtype {data.dtype} != array dtype "
+                f"{spec.np_dtype} for {spec.name!r}"
+            )
+        self._state["data"][spec.name] = data
+        return data
+
+    def local(self, array) -> Optional[np.ndarray]:
+        """This rank's bound chunk of ``array``."""
+        name = array.name if hasattr(array, "name") else array
+        try:
+            return self._state["data"][name]
+        except KeyError:
+            raise KeyError(
+                f"rank {self.rank}: array {name!r} is not bound; call "
+                "ctx.bind(array, data) first"
+            ) from None
+
+    def is_bound(self, name: str) -> bool:
+        return name in self._state["data"]
+
+    # -- group service bookkeeping -------------------------------------------
+    def next_counter(self, group: str, kind: str) -> int:
+        key = (group, kind)
+        k = self._state["counters"].get(key, 0)
+        self._state["counters"][key] = k + 1
+        return k
+
+    def note_checkpoint(self, group: str, dataset: str) -> None:
+        self._state["checkpoints"][group] = dataset
+
+    def latest_checkpoint(self, group: str) -> str:
+        try:
+            return self._state["checkpoints"][group]
+        except KeyError:
+            raise KeyError(
+                f"group {group!r} has no checkpoint to restart from"
+            ) from None
+
+    # -- geometry ---------------------------------------------------------
+    def _my_chunk_region(self, spec: ArraySpec) -> Region:
+        mesh = spec.memory_schema.mesh
+        if mesh.size != len(self.group_ranks):
+            raise ValueError(
+                f"array {spec.name!r} memory mesh has {mesh.size} positions "
+                f"but this client group has {len(self.group_ranks)} "
+                "compute nodes"
+            )
+        return spec.memory_schema.chunk(self.group_index).region
+
+    # -- the collective operation -------------------------------------------
+    def collective(self, kind: str, specs: Tuple[ArraySpec, ...], dataset: str,
+                   schema_file: Optional[str] = None):
+        """Process helper: one collective read or write.  Returns this
+        rank's :class:`OpRecord` view (op_id, elapsed is finalised by
+        the runtime's log)."""
+        op = CollectiveOp(
+            op_id=self._state["op_serial"], kind=kind, dataset=dataset,
+            arrays=tuple(specs), client_ranks=self.group_ranks,
+        )
+        self._state["op_serial"] += 1
+        # validate local bindings up front (real mode requires data for
+        # every array; also validates mesh-vs-runtime agreement)
+        for spec in op.arrays:
+            region = self._my_chunk_region(spec)
+            if self.runtime.real_payloads and not region.empty:
+                if spec.name not in self._state["data"]:
+                    raise ValueError(
+                        f"rank {self.rank}: array {spec.name!r} not bound "
+                        f"before collective {kind}"
+                    )
+        self.runtime.oplog.enter(self.rank, op, self.comm.sim.now, schema_file)
+        # op setup cost on every client
+        yield from self.comm.handle()
+        if self.is_master:
+            yield from self.comm.send(
+                self.runtime.master_server_rank, Tags.REQUEST, op
+            )
+        if kind == "write":
+            yield from self._serve_write(op)
+        else:
+            yield from self._serve_read(op)
+        # master tells the others in its group; everyone leaves
+        if self.is_master:
+            yield from self.comm.bcast_send(
+                self.group_ranks, Tags.CLIENT_DONE, op.op_id
+            )
+        self.runtime.oplog.leave(self.rank, op, self.comm.sim.now)
+        return op.op_id
+
+    # -- write path: answer fetch requests ------------------------------------
+    def _serve_write(self, op: CollectiveOp):
+        done_tag = Tags.OP_DONE if self.is_master else Tags.CLIENT_DONE
+        while True:
+            msg = yield from self.comm.recv(tags={Tags.FETCH, done_tag})
+            if msg.tag == done_tag:
+                return
+            req: FetchRequest = msg.payload
+            if req.op_id != op.op_id:
+                raise RuntimeError(
+                    f"rank {self.rank}: fetch for op {req.op_id} during op "
+                    f"{op.op_id}"
+                )
+            yield from self.comm.handle()
+            spec = op.arrays[req.array_index]
+            chunk_region = self._my_chunk_region(spec)
+            nbytes = req.region.size * spec.itemsize
+            runs, _ = req.region.contiguous_runs_within(chunk_region)
+            if runs > 1:
+                # strided gather into a send buffer
+                yield from self.comm.copy(nbytes, runs)
+            if self.runtime.real_payloads:
+                local = self.local(spec.name)
+                data = extract_region(local, chunk_region.lo, req.region)
+                block = DataBlock.real(data)
+            else:
+                block = DataBlock.virtual(nbytes)
+            piece = PieceData(op.op_id, req.array_index, req.region, block,
+                              req.subchunk_seq)
+            yield from self.comm.send(msg.src, Tags.DATA, piece, nbytes=nbytes)
+
+    # -- read path: absorb scattered pieces -------------------------------------
+    def _serve_read(self, op: CollectiveOp):
+        done_tag = Tags.OP_DONE if self.is_master else Tags.CLIENT_DONE
+        while True:
+            msg = yield from self.comm.recv(tags={Tags.PIECE, done_tag})
+            if msg.tag == done_tag:
+                return
+            piece: PieceData = msg.payload
+            if piece.op_id != op.op_id:
+                raise RuntimeError(
+                    f"rank {self.rank}: piece for op {piece.op_id} during op "
+                    f"{op.op_id}"
+                )
+            yield from self.comm.handle()
+            spec = op.arrays[piece.array_index]
+            chunk_region = self._my_chunk_region(spec)
+            runs, _ = piece.region.contiguous_runs_within(chunk_region)
+            if runs > 1:
+                # strided scatter out of the receive buffer
+                yield from self.comm.copy(piece.block.nbytes, runs)
+            if self.runtime.real_payloads:
+                local = self.local(spec.name)
+                data = piece.block.array.view(spec.np_dtype).reshape(
+                    piece.region.shape
+                )
+                inject_region(local, chunk_region.lo, piece.region, data)

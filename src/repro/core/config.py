@@ -1,0 +1,48 @@
+"""Panda library configuration.
+
+One :class:`PandaConfig` per runtime.  The defaults are the paper's
+experimental settings; the non-default options implement extensions the
+paper names explicitly:
+
+- ``nonblocking`` -- "We believe that these throughputs can be improved
+  by using non-blocking communication when performing data
+  rearrangement" (section 3): servers post all sub-chunk piece requests
+  at once and accept replies in any order.
+- ``sub_chunk_bytes`` -- "After experimentation, we chose a subchunk
+  size of 1 MB for all experiments in this paper" (section 2); the
+  ablation benchmark sweeps this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine import MB
+
+__all__ = ["PandaConfig"]
+
+
+@dataclass(frozen=True)
+class PandaConfig:
+    """Tunable knobs of the Panda library itself (as opposed to the
+    machine model, which lives in :class:`repro.machine.MachineSpec`)."""
+
+    #: maximum sub-chunk size in bytes; large disk chunks are broken
+    #: into sub-chunks of at most this size on the fly.
+    sub_chunk_bytes: int = MB
+    #: when True, servers exchange sub-chunk pieces with clients using
+    #: non-blocking communication (the paper's future-work extension).
+    nonblocking: bool = False
+    #: verify that collective calls agree across clients (catches SPMD
+    #: bugs in applications; cheap, on by default).
+    check_collective_consistency: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sub_chunk_bytes < 1:
+            raise ValueError("sub_chunk_bytes must be >= 1")
+
+    def max_elems(self, itemsize: int) -> int:
+        """Sub-chunk element budget for a given element size."""
+        if itemsize < 1:
+            raise ValueError("itemsize must be >= 1")
+        return max(1, self.sub_chunk_bytes // itemsize)

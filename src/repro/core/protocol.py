@@ -1,0 +1,199 @@
+"""Wire protocol of server-directed I/O: message payloads and tags.
+
+The paper's protocol, stated as message types:
+
+=====================  =======================================  ==========
+message                direction                                tag
+=====================  =======================================  ==========
+CollectiveOp           master client -> master server           REQUEST
+CollectiveOp           master server -> other servers           SCHEMA
+FetchRequest           server -> client            (write)      FETCH
+PieceData              client -> server            (write)      DATA
+PieceData              server -> client            (read)       PIECE
+server completion      server -> master server                  SERVER_DONE
+op completion          master server -> master client           OP_DONE
+op completion          master client -> other clients           CLIENT_DONE
+shutdown               runtime -> servers                       SHUTDOWN
+=====================  =======================================  ==========
+
+Everything except PieceData is control-plane (256-byte wire size);
+PieceData charges its payload bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.mpi.datatypes import DataBlock
+from repro.schema.chunking import DataSchema
+from repro.schema.regions import Region
+
+__all__ = [
+    "ArraySpec",
+    "CollectiveOp",
+    "FetchRequest",
+    "PieceData",
+    "ServerDone",
+    "Tags",
+]
+
+
+class Tags:
+    """Message tag namespace."""
+
+    REQUEST = 10
+    SCHEMA = 11
+    FETCH = 12
+    DATA = 13
+    PIECE = 14
+    SERVER_DONE = 15
+    OP_DONE = 16
+    CLIENT_DONE = 17
+    SHUTDOWN = 18
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Everything a server needs to know about one array in a collective
+    operation: the marshalled form of an API-level :class:`~repro.core.
+    api.Array`."""
+
+    name: str
+    shape: Tuple[int, ...]
+    itemsize: int
+    dtype: str  #: numpy dtype string ("<f8"); informational in virtual mode
+    memory_schema: DataSchema
+    disk_schema: DataSchema
+    #: per-array sub-chunk size override (the paper's future-work
+    #: "explicitly request sub-chunked schemas"); None uses the
+    #: library-wide :attr:`PandaConfig.sub_chunk_bytes`.
+    sub_chunk_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.itemsize < 1:
+            raise ValueError("itemsize must be >= 1")
+        if self.sub_chunk_bytes is not None and self.sub_chunk_bytes < 1:
+            raise ValueError("sub_chunk_bytes must be >= 1")
+        if tuple(self.memory_schema.shape) != tuple(self.shape):
+            raise ValueError(
+                f"memory schema shape {self.memory_schema.shape} != array "
+                f"shape {self.shape}"
+            )
+        if tuple(self.disk_schema.shape) != tuple(self.shape):
+            raise ValueError(
+                f"disk schema shape {self.disk_schema.shape} != array "
+                f"shape {self.shape}"
+            )
+
+    @property
+    def nbytes(self) -> int:
+        n = self.itemsize
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        return np.dtype(self.dtype)
+
+
+@dataclass(frozen=True)
+class CollectiveOp:
+    """The very-high-level description of one collective I/O operation:
+    what the master client sends to the master server, and all a server
+    needs to form its plan.
+
+    ``client_ranks`` lists the participating compute ranks in memory-
+    mesh order (position *i* of the mesh is held by ``client_ranks[i]``)
+    -- the collective's communicator.  Its first entry is the op's
+    master client.  When several applications share a set of I/O nodes
+    (the paper's future-work scenario), each op names its own client
+    group here.
+    """
+
+    op_id: int
+    kind: str  #: "write" or "read"
+    dataset: str  #: logical dataset name; determines server file names
+    arrays: Tuple[ArraySpec, ...]
+    client_ranks: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("write", "read"):
+            raise ValueError(f"bad collective op kind {self.kind!r}")
+        if not self.arrays:
+            raise ValueError("collective op needs at least one array")
+        names = [a.name for a in self.arrays]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate array names in op: {names}")
+        object.__setattr__(self, "client_ranks", tuple(self.client_ranks))
+        if len(set(self.client_ranks)) != len(self.client_ranks):
+            raise ValueError("duplicate ranks in client group")
+
+    @property
+    def master_client(self) -> int:
+        if not self.client_ranks:
+            raise ValueError("op has no client group")
+        return self.client_ranks[0]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(a.nbytes for a in self.arrays)
+
+    def signature(self) -> tuple:
+        """Hashable identity used for collective-consistency checking
+        across clients."""
+        return (
+            self.op_id,
+            self.kind,
+            self.dataset,
+            self.client_ranks,
+            tuple(
+                (a.name, a.shape, a.itemsize, a.memory_schema, a.disk_schema)
+                for a in self.arrays
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class FetchRequest:
+    """Server asks a client for a logical piece of a sub-chunk (write
+    path).  Regions are global, so the request is meaningful regardless
+    of how the client stores its chunk -- the paper's "logical sub-chunk"
+    requests."""
+
+    op_id: int
+    array_index: int
+    region: Region
+    #: identifies the requesting server's sub-chunk (diagnostics only;
+    #: the protocol needs no reply routing beyond MPI source matching).
+    subchunk_seq: int
+
+
+@dataclass(frozen=True)
+class PieceData:
+    """A region-shaped piece of array data in flight (both directions)."""
+
+    op_id: int
+    array_index: int
+    region: Region
+    block: DataBlock
+    subchunk_seq: int = -1
+
+    def __post_init__(self) -> None:
+        if self.block.nbytes % max(1, self.region.size) != 0 and self.region.size > 0:
+            raise ValueError(
+                f"block of {self.block.nbytes}B is not a whole number of "
+                f"elements for region {self.region}"
+            )
+
+
+@dataclass(frozen=True)
+class ServerDone:
+    """A server reports completion of its share of an op."""
+
+    op_id: int
+    server_index: int
+    bytes_moved: int

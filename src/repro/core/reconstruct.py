@@ -1,0 +1,111 @@
+"""External reconstruction of Panda datasets from server files.
+
+These helpers play the role of the paper's "data consumers": programs
+that open the files Panda's servers wrote -- *without* going through
+Panda -- and reassemble arrays from the chunk layout recorded in the
+``.schema`` catalog.  They exist for three reasons:
+
+1. **verification** -- tests reconstruct arrays straight from the byte
+   store and compare with what the application wrote, independently of
+   the read protocol;
+2. the paper's **migration story** -- "the data can be migrated to a
+   sequential machine with the array in a single file in traditional
+   order by simply concatenating all the files on the i/o nodes
+   together" (section 3).  :func:`concatenate_server_files` does the
+   concatenation and :func:`is_traditional_order` states when it is
+   valid;
+3. **tooling** -- an example shows a "visualizer on a sequential
+   platform" consuming a chunked dataset.
+
+Only meaningful in real-payload mode.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.config import PandaConfig
+from repro.core.plan import build_server_plan, dataset_file
+from repro.core.protocol import ArraySpec, CollectiveOp
+
+__all__ = [
+    "reconstruct_array",
+    "concatenate_server_files",
+    "is_traditional_order",
+]
+
+
+def _spec_of(op: CollectiveOp, array_name: str) -> tuple[int, ArraySpec]:
+    for i, a in enumerate(op.arrays):
+        if a.name == array_name:
+            return i, a
+    raise KeyError(f"array {array_name!r} not in dataset {op.dataset!r}")
+
+
+def reconstruct_array(runtime, dataset: str, array_name: str) -> np.ndarray:
+    """Reassemble one array of a dataset from the server files, using
+    only the catalog metadata and the deterministic plan math."""
+    if not runtime.real_payloads:
+        raise ValueError("reconstruction requires real payloads")
+    op = runtime.catalog[dataset]
+    array_index, spec = _spec_of(op, array_name)
+    out = np.zeros(spec.shape, dtype=spec.np_dtype)
+    for s in range(runtime.n_io):
+        plan = build_server_plan(op, s, runtime.n_io, runtime.config)
+        raw = runtime.filesystem(s).read_all_bytes(plan.file_name)
+        for item in plan.items:
+            if item.array_index != array_index:
+                continue
+            piece = np.frombuffer(
+                raw[item.file_offset : item.file_offset + item.nbytes],
+                dtype=spec.np_dtype,
+            ).reshape(item.region.shape)
+            out[item.region.slices()] = piece
+    return out
+
+
+def is_traditional_order(spec: ArraySpec) -> bool:
+    """True when the disk schema is ``BLOCK,*,*,...`` -- i.e. only the
+    first dimension distributed -- so that concatenating the server
+    files yields the array in row-major (traditional) order."""
+    dists = spec.disk_schema.dists
+    return dists[0].kind == "BLOCK" and all(
+        d.kind == "NONE" for d in dists[1:]
+    )
+
+
+def concatenate_server_files(runtime, dataset: str) -> bytes:
+    """The migration path of the paper: concatenate the dataset's server
+    files in server order.  For a single-array dataset in a traditional-
+    order (``BLOCK,*,...``) disk schema this is the array's row-major
+    byte stream.  Raises when the layout does not support it."""
+    if not runtime.real_payloads:
+        raise ValueError("concatenation requires real payloads")
+    op = runtime.catalog[dataset]
+    if len(op.arrays) != 1:
+        raise ValueError(
+            "file concatenation is only meaningful for single-array datasets"
+        )
+    spec = op.arrays[0]
+    if not is_traditional_order(spec):
+        raise ValueError(
+            f"disk schema {spec.disk_schema!r} is not traditional order "
+            "(BLOCK,*,...); concatenation would interleave chunks"
+        )
+    n_chunks = len(list(spec.disk_schema.chunks()))
+    if n_chunks > runtime.n_io:
+        # chunk i lives on server i mod S; with more chunks than servers
+        # the concatenation interleaves rounds and is not row-major
+        raise ValueError(
+            f"{n_chunks} disk chunks across {runtime.n_io} servers wrap "
+            "around; declare a disk mesh of at most the number of I/O nodes"
+        )
+    parts: List[bytes] = []
+    for s in range(runtime.n_io):
+        path = dataset_file(dataset, s)
+        fs = runtime.filesystem(s)
+        if fs.exists(path):
+            parts.append(fs.read_all_bytes(path))
+    return b"".join(parts)

@@ -1,0 +1,411 @@
+"""The Panda runtime: wiring applications, clients and servers onto a
+simulated machine.
+
+:class:`PandaRuntime` owns the simulator, the network (compute ranks
+``0..C-1``, server ranks ``C..C+S-1``), one file system per I/O node,
+and the dataset catalog (the ``.schema`` files of the paper's Figure 2).
+``run(app)`` executes an SPMD application -- a generator function
+``app(ctx)`` instantiated once per compute rank -- to completion,
+then shuts the servers down and returns a :class:`RunResult`.
+
+The runtime may be ``run`` several times; file systems and dataset
+catalog persist across runs (so one run can write a checkpoint and a
+later run can restart from it), as do per-rank group counters.
+
+Timing methodology follows the paper: "The elapsed time is the maximum
+time spent by any compute node on the collective i/o request" --
+:class:`OpRecord` captures per-op enter/leave times of every rank.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.client import PandaClient
+from repro.core.config import PandaConfig
+from repro.core.protocol import CollectiveOp, Tags
+from repro.fs.filesystem import FileSystem
+from repro.machine import NAS_SP2, MachineSpec
+from repro.mpi.network import Network
+from repro.sim import Simulator
+from repro.sim.trace import Trace
+
+__all__ = ["PandaRuntime", "ClientContext", "RunResult", "OpRecord", "OpLog"]
+
+
+@dataclass
+class OpRecord:
+    """One collective operation, as observed across all clients."""
+
+    op_id: int
+    kind: str
+    dataset: str
+    total_bytes: int
+    n_arrays: int
+    enters: Dict[int, float] = field(default_factory=dict)
+    leaves: Dict[int, float] = field(default_factory=dict)
+    signature: Optional[tuple] = None
+
+    @property
+    def start(self) -> float:
+        return min(self.enters.values())
+
+    @property
+    def end(self) -> float:
+        return max(self.leaves.values())
+
+    @property
+    def elapsed(self) -> float:
+        """The paper's elapsed time: max time spent by any compute node."""
+        return self.end - self.start
+
+    @property
+    def throughput(self) -> float:
+        """Aggregate bytes/second over the collective."""
+        return self.total_bytes / self.elapsed if self.elapsed > 0 else float("inf")
+
+
+class OpLog:
+    """Collects OpRecords and enforces SPMD consistency.
+
+    Records are keyed by (client group, op id), so concurrent
+    applications sharing the I/O nodes each get their own op stream.
+    """
+
+    def __init__(self, runtime: "PandaRuntime") -> None:
+        self.runtime = runtime
+        self.records: Dict[tuple, OpRecord] = {}
+
+    @staticmethod
+    def _key(op: CollectiveOp) -> tuple:
+        return (op.client_ranks, op.op_id)
+
+    def enter(self, rank: int, op: CollectiveOp, now: float,
+              schema_file: Optional[str]) -> None:
+        rec = self.records.get(self._key(op))
+        if rec is None:
+            rec = OpRecord(
+                op_id=op.op_id, kind=op.kind, dataset=op.dataset,
+                total_bytes=op.total_bytes, n_arrays=len(op.arrays),
+                signature=op.signature(),
+            )
+            self.records[self._key(op)] = rec
+        elif (self.runtime.config.check_collective_consistency
+              and rec.signature != op.signature()):
+            raise RuntimeError(
+                f"SPMD violation: rank {rank} entered collective "
+                f"{op.op_id} with a different signature"
+            )
+        if rank in rec.enters:
+            raise RuntimeError(f"rank {rank} entered op {op.op_id} twice")
+        rec.enters[rank] = now
+
+    def leave(self, rank: int, op: CollectiveOp, now: float) -> None:
+        self.records[self._key(op)].leaves[rank] = now
+
+    def finished(self) -> List[OpRecord]:
+        return [r for _, r in sorted(self.records.items())
+                if len(r.leaves) == len(r.enters) and r.enters]
+
+
+@dataclass
+class ClientContext:
+    """What an application generator receives, one per compute rank."""
+
+    rank: int
+    runtime: "PandaRuntime"
+    panda: PandaClient
+
+    @property
+    def sim(self) -> Simulator:
+        return self.runtime.sim
+
+    @property
+    def comm(self):
+        return self.panda.comm
+
+    @property
+    def n_compute(self) -> int:
+        return self.runtime.n_compute
+
+    @property
+    def group_ranks(self):
+        """This application's client group (== all ranks unless running
+        partitioned)."""
+        return self.panda.group_ranks
+
+    @property
+    def group_index(self) -> int:
+        """This rank's memory-mesh position within its group."""
+        return self.panda.group_index
+
+    def bind(self, array, data=None):
+        """Register this rank's local chunk of ``array`` (see
+        :meth:`PandaClient.bind`)."""
+        return self.panda.bind(array, data)
+
+    def local(self, array):
+        return self.panda.local(array)
+
+    def compute(self, seconds: float):
+        """Model application computation time between I/O calls."""
+        return self.comm.compute(seconds)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :meth:`PandaRuntime.run`."""
+
+    ops: List[OpRecord]
+    elapsed: float
+    trace: Optional[Trace]
+    runtime: "PandaRuntime"
+
+    def op(self, index: int = -1) -> OpRecord:
+        return self.ops[index]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(o.total_bytes for o in self.ops)
+
+    def describe(self) -> str:
+        """A human-readable run summary: per-op timings plus resource
+        utilization (see :mod:`repro.bench.stats`)."""
+        from repro.bench.stats import utilization
+        from repro.machine import MB
+
+        lines = [
+            f"{len(self.ops)} collective op(s), "
+            f"{self.total_bytes / MB:.2f} MB moved:"
+        ]
+        for o in self.ops:
+            lines.append(
+                f"  {o.kind:5s} {o.dataset:24s} {o.total_bytes / MB:8.2f} MB "
+                f"in {o.elapsed:8.3f} s = {o.throughput / MB:7.2f} MB/s"
+            )
+        lines.append(utilization(self.runtime).summary())
+        return "\n".join(lines)
+
+
+class PandaRuntime:
+    """A Panda deployment on a simulated machine."""
+
+    def __init__(
+        self,
+        n_compute: int,
+        n_io: int,
+        spec: MachineSpec = NAS_SP2,
+        config: Optional[PandaConfig] = None,
+        real_payloads: bool = True,
+        trace: bool = False,
+    ) -> None:
+        if n_compute < 1 or n_io < 1:
+            raise ValueError("need at least one compute node and one I/O node")
+        if n_compute + n_io > spec.total_nodes:
+            raise ValueError(
+                f"{n_compute} compute + {n_io} I/O nodes exceed the machine's "
+                f"{spec.total_nodes} nodes"
+            )
+        self.n_compute = n_compute
+        self.n_io = n_io
+        self.spec = spec
+        self.config = config or PandaConfig()
+        self.real_payloads = real_payloads
+        self.trace = Trace() if trace else None
+        self.sim = Simulator()
+        self.network = Network(self.sim, spec, n_compute + n_io, trace=self.trace)
+        self.filesystems = [
+            FileSystem(self.sim, spec, node=f"ionode{i}", real=real_payloads,
+                       trace=self.trace)
+            for i in range(n_io)
+        ]
+        self.oplog = OpLog(self)
+        #: dataset name -> CollectiveOp that wrote it (the catalog the
+        #: paper keeps in .schema files).
+        self.catalog: Dict[str, CollectiveOp] = {}
+        self._client_state: Dict[int, dict] = {r: {} for r in range(n_compute)}
+
+    # -- rank arithmetic ------------------------------------------------------
+    @property
+    def master_client_rank(self) -> int:
+        return 0
+
+    @property
+    def master_server_rank(self) -> int:
+        return self.n_compute
+
+    @property
+    def client_ranks(self) -> range:
+        return range(self.n_compute)
+
+    @property
+    def server_ranks(self) -> range:
+        return range(self.n_compute, self.n_compute + self.n_io)
+
+    def server_rank(self, server_index: int) -> int:
+        return self.n_compute + server_index
+
+    def filesystem(self, server_index: int) -> FileSystem:
+        return self.filesystems[server_index]
+
+    # -- catalog (.schema files) -------------------------------------------------
+    def catalog_check(self, op: CollectiveOp) -> None:
+        """Master-server validation before an op runs."""
+        if op.kind != "read":
+            return
+        stored = self.catalog.get(op.dataset)
+        if stored is None:
+            raise FileNotFoundError(
+                f"dataset {op.dataset!r} has no schema entry; it was never "
+                "written"
+            )
+        stored_by_name = {a.name: a for a in stored.arrays}
+        for spec in op.arrays:
+            prev = stored_by_name.get(spec.name)
+            if prev is None:
+                raise KeyError(
+                    f"array {spec.name!r} is not part of dataset {op.dataset!r}"
+                )
+            if prev.shape != spec.shape or prev.itemsize != spec.itemsize:
+                raise ValueError(
+                    f"array {spec.name!r}: shape/itemsize do not match the "
+                    f"stored dataset {op.dataset!r}"
+                )
+            if prev.disk_schema != spec.disk_schema:
+                raise ValueError(
+                    f"array {spec.name!r}: disk schema differs from the one "
+                    f"{op.dataset!r} was written with; the on-disk layout is "
+                    "fixed at write time (the memory schema may differ freely)"
+                )
+        # reads must also cover the arrays in the stored order for the
+        # file offsets to line up
+        if [a.name for a in op.arrays] != [a.name for a in stored.arrays]:
+            raise ValueError(
+                f"dataset {op.dataset!r} must be read with the same arrays "
+                "in the same order it was written with"
+            )
+
+    def catalog_commit(self, op: CollectiveOp) -> None:
+        """Record a completed write in the catalog and store the .schema
+        file beside the data (on the master server's file system)."""
+        self.catalog[op.dataset] = op
+        desc = {
+            "dataset": op.dataset,
+            "n_servers": self.n_io,
+            "sub_chunk_bytes": self.config.sub_chunk_bytes,
+            "arrays": [
+                {
+                    "name": a.name,
+                    "shape": list(a.shape),
+                    "itemsize": a.itemsize,
+                    "dtype": a.dtype,
+                    "disk_schema": a.disk_schema.describe(),
+                }
+                for a in op.arrays
+            ],
+        }
+        blob = json.dumps(desc, indent=1).encode()
+        store = self.filesystems[0].store
+        path = f"{op.dataset}.schema"
+        store.create(path, truncate=True)
+        store.write(path, 0, blob if store.real else None, len(blob))
+
+    # -- execution -----------------------------------------------------------------
+    def run(self, app: Callable, *args, **kwargs) -> RunResult:
+        """Run the SPMD application ``app(ctx, *args, **kwargs)`` on all
+        compute ranks, with Panda servers live on all I/O ranks."""
+        ranks = tuple(range(self.n_compute))
+        return self.run_partitioned([(app, ranks)], *args, **kwargs)
+
+    def run_partitioned(self, assignments, *args, **kwargs) -> RunResult:
+        """Run several applications concurrently on disjoint client
+        groups, all sharing this runtime's I/O nodes -- the paper's
+        "impact of i/o node sharing" scenario.
+
+        ``assignments`` is a list of ``(app, ranks)`` pairs; the rank
+        tuples must be disjoint (they need not cover every compute
+        node).  Each application is SPMD over its own group: memory
+        meshes must match the group size, and mesh position *i* is held
+        by ``ranks[i]``.
+        """
+        from repro.core.server import PandaServer
+
+        seen: set[int] = set()
+        for _app, ranks in assignments:
+            for r in ranks:
+                if not 0 <= r < self.n_compute:
+                    raise ValueError(f"rank {r} outside the compute nodes")
+                if r in seen:
+                    raise ValueError(f"rank {r} assigned to two applications")
+                seen.add(r)
+        if not seen:
+            raise ValueError("no application assignments given")
+
+        t0 = self.sim.now
+        server_procs = []
+        for i in range(self.n_io):
+            server = PandaServer(
+                self, i, self.network.comm(self.server_rank(i)),
+                self.filesystems[i],
+            )
+            server_procs.append(self.sim.spawn(server.run(), name=f"server{i}"))
+        client_procs = []
+        for app, ranks in assignments:
+            group = tuple(ranks)
+            for rank in group:
+                ctx = ClientContext(
+                    rank=rank,
+                    runtime=self,
+                    panda=PandaClient(
+                        self, rank, self.network.comm(rank),
+                        self._client_state[rank], group_ranks=group,
+                    ),
+                )
+                client_procs.append(
+                    self.sim.spawn(app(ctx, *args, **kwargs),
+                                   name=f"client{rank}")
+                )
+        self.sim.spawn(
+            self._supervisor(client_procs, server_procs), name="supervisor"
+        )
+        try:
+            self.sim.run()
+        except Exception as sim_exc:
+            # a failed client or server usually strands its peers in a
+            # recv, so the run surfaces as an unhandled failure or a
+            # deadlock; re-raise the root cause when one exists
+            for p in client_procs + server_procs:
+                if p.triggered and p.exception is not None:
+                    raise p.exception from sim_exc
+            raise
+        for p in client_procs + server_procs:
+            if p.triggered and p.exception is not None:
+                raise p.exception
+        for p in client_procs:
+            p.value  # re-raise any client failure with its traceback
+        ops = self.oplog.finished()
+        result = RunResult(
+            ops=[o for o in ops], elapsed=self.sim.now - t0,
+            trace=self.trace, runtime=self,
+        )
+        # ops are cumulative across runs; report only this run's slice
+        result.ops = [o for o in ops if o.start >= t0]
+        return result
+
+    def _supervisor(self, client_procs, server_procs):
+        """Wait for every client, then shut the servers down.  A client
+        failure is swallowed here (run() re-raises it) but the shutdown
+        is still attempted so healthy servers drain."""
+        try:
+            yield self.sim.all_of(client_procs)
+        except Exception:
+            pass
+        comm = self.network.comm(self.master_client_rank)
+        for r in self.server_ranks:
+            yield from comm.send(r, Tags.SHUTDOWN)
+        try:
+            yield self.sim.all_of(server_procs)
+        except Exception:
+            pass

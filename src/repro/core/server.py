@@ -1,0 +1,220 @@
+"""The Panda server: the I/O-node side of server-directed collective I/O.
+
+One server process per I/O node.  Lifecycle (paper, section 2):
+
+- the **master server** (server index 0) receives the CollectiveOp from
+  the master client and relays it to the other servers;
+- each server independently forms its :class:`~repro.core.plan.
+  ServerPlan` (round-robin chunks, 1 MB sub-chunks) -- "the servers do
+  not communicate with one another during plan formation or while array
+  data is being gathered or scattered";
+- **writes**: per sub-chunk, in file order, the server requests the
+  logical pieces from the clients that hold them, reassembles the
+  sub-chunk in traditional order, and appends it with one sequential
+  file write; after the last sub-chunk, fsync;
+- **reads**: per sub-chunk, one sequential file read, then the pieces
+  are scattered to the owning clients;
+- completion flows server -> master server -> master client.
+
+Cost model at the server: per-message handling; one staging pass over
+every sub-chunk (``copy_time(nbytes, total_piece_runs)``) -- the
+assembly/disassembly memcpy between message buffers and the I/O buffer;
+and the file-system service time from the disk model.
+
+``config.nonblocking`` switches the write path's piece collection from
+the paper's blocking request/reply pairs to posting all requests first
+(the paper's stated future improvement).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.plan import ServerPlan, SubchunkPlan, build_server_plan
+from repro.core.protocol import (
+    ArraySpec,
+    CollectiveOp,
+    FetchRequest,
+    PieceData,
+    ServerDone,
+    Tags,
+)
+from repro.fs.filesystem import FileSystem
+from repro.mpi.comm import Communicator
+from repro.mpi.datatypes import DataBlock
+from repro.schema.regions import Region
+from repro.schema.reorganize import extract_region, inject_region
+
+__all__ = ["PandaServer"]
+
+
+class PandaServer:
+    """One I/O node's Panda server."""
+
+    def __init__(self, runtime, server_index: int, comm: Communicator,
+                 fs: FileSystem) -> None:
+        self.runtime = runtime
+        self.server_index = server_index
+        self.comm = comm
+        self.fs = fs
+        # per-op accounting for the trace/results
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.subchunks_processed = 0
+
+    @property
+    def is_master(self) -> bool:
+        return self.server_index == 0
+
+    @property
+    def rank(self) -> int:
+        return self.runtime.server_rank(self.server_index)
+
+    # -- main loop ----------------------------------------------------------
+    def run(self):
+        """The server process: handle collective ops until shutdown."""
+        listen = {Tags.REQUEST, Tags.SHUTDOWN} if self.is_master else \
+                 {Tags.SCHEMA, Tags.SHUTDOWN}
+        while True:
+            msg = yield from self.comm.recv(tags=listen)
+            if msg.tag == Tags.SHUTDOWN:
+                return
+            op: CollectiveOp = msg.payload
+            yield from self.comm.handle()
+            if self.is_master:
+                self.runtime.catalog_check(op)
+                yield from self.comm.bcast_send(
+                    self.runtime.server_ranks, Tags.SCHEMA, op
+                )
+            # independent plan formation
+            yield from self.comm.compute(self.comm.spec.plan_formation_overhead)
+            plan = build_server_plan(
+                op, self.server_index, self.runtime.n_io, self.runtime.config
+            )
+            if op.kind == "write":
+                moved = yield from self._execute_write(op, plan)
+            else:
+                moved = yield from self._execute_read(op, plan)
+            done = ServerDone(op.op_id, self.server_index, moved)
+            if self.is_master:
+                if self.runtime.n_io > 1:
+                    yield from self.comm.gather_recv(
+                        self.runtime.server_ranks, Tags.SERVER_DONE
+                    )
+                if op.kind == "write":
+                    self.runtime.catalog_commit(op)
+                yield from self.comm.send(
+                    op.master_client, Tags.OP_DONE, done
+                )
+            else:
+                yield from self.comm.send(
+                    self.runtime.master_server_rank, Tags.SERVER_DONE, done
+                )
+
+    # -- helpers ---------------------------------------------------------------
+    def _pieces_of(self, op: CollectiveOp, spec: ArraySpec,
+                   item: SubchunkPlan) -> List[Tuple[int, Region]]:
+        """(client_rank, piece_region) for everything intersecting a
+        sub-chunk, in canonical mesh order.  Memory-mesh position *i*
+        belongs to ``op.client_ranks[i]``."""
+        return [
+            (op.client_ranks[chunk.index], overlap)
+            for chunk, overlap in spec.memory_schema.chunks_intersecting(item.region)
+        ]
+
+    # -- write path ------------------------------------------------------------
+    def _execute_write(self, op: CollectiveOp, plan: ServerPlan):
+        fh = self.fs.open(plan.file_name, "w")
+        moved = 0
+        real = self.runtime.real_payloads
+        for item in plan.items:
+            spec = op.arrays[item.array_index]
+            pieces = self._pieces_of(op, spec, item)
+            buf = np.zeros(item.region.shape, dtype=spec.np_dtype) if real else None
+            total_runs = 0
+            if self.runtime.config.nonblocking:
+                # post every request, then take replies in arrival order
+                for client_rank, region in pieces:
+                    req = FetchRequest(op.op_id, item.array_index, region, item.seq)
+                    yield from self.comm.send(client_rank, Tags.FETCH, req)
+                replies = []
+                for _ in pieces:
+                    msg = yield from self.comm.recv(tag=Tags.DATA)
+                    replies.append(msg)
+            else:
+                # the paper's blocking request/reply pairs, client order
+                replies = []
+                for client_rank, region in pieces:
+                    req = FetchRequest(op.op_id, item.array_index, region, item.seq)
+                    yield from self.comm.send(client_rank, Tags.FETCH, req)
+                    msg = yield from self.comm.recv(src=client_rank, tag=Tags.DATA)
+                    replies.append(msg)
+            for msg in replies:
+                piece: PieceData = msg.payload
+                if piece.subchunk_seq != item.seq or piece.op_id != op.op_id:
+                    raise RuntimeError(
+                        f"server {self.server_index}: stray piece "
+                        f"{piece.subchunk_seq} during sub-chunk {item.seq}"
+                    )
+                yield from self.comm.handle()
+                runs, _ = piece.region.contiguous_runs_within(item.region)
+                total_runs += runs
+                if real:
+                    data = piece.block.array.view(spec.np_dtype).reshape(
+                        piece.region.shape
+                    )
+                    inject_region(buf, item.region.lo, piece.region, data)
+            # staging pass: assemble the sub-chunk in traditional order
+            yield from self.comm.copy(item.nbytes, max(total_runs, 1))
+            block = DataBlock.real(buf) if real else DataBlock.virtual(item.nbytes)
+            yield from fh.write(block)
+            moved += item.nbytes
+            self.subchunks_processed += 1
+        yield from fh.fsync()
+        fh.close()
+        self.bytes_written += moved
+        return moved
+
+    # -- read path ---------------------------------------------------------------
+    def _execute_read(self, op: CollectiveOp, plan: ServerPlan):
+        if not self.fs.exists(plan.file_name):
+            raise FileNotFoundError(
+                f"server {self.server_index}: dataset file "
+                f"{plan.file_name!r} does not exist (dataset "
+                f"{op.dataset!r} was never written?)"
+            )
+        fh = self.fs.open(plan.file_name, "r")
+        moved = 0
+        real = self.runtime.real_payloads
+        for item in plan.items:
+            spec = op.arrays[item.array_index]
+            if fh.offset != item.file_offset:
+                fh.seek(item.file_offset)
+            block = yield from fh.read(item.nbytes)
+            if real:
+                buf = block.array.view(spec.np_dtype).reshape(item.region.shape)
+            pieces = self._pieces_of(op, spec, item)
+            total_runs = 0
+            for _, region in pieces:
+                runs, _ = region.contiguous_runs_within(item.region)
+                total_runs += runs
+            # staging pass: carve the sub-chunk into pieces
+            yield from self.comm.copy(item.nbytes, max(total_runs, 1))
+            for client_rank, region in pieces:
+                nbytes = region.size * spec.itemsize
+                if real:
+                    data = extract_region(buf, item.region.lo, region)
+                    pblock = DataBlock.real(data)
+                else:
+                    pblock = DataBlock.virtual(nbytes)
+                piece = PieceData(op.op_id, item.array_index, region, pblock,
+                                  item.seq)
+                yield from self.comm.send(client_rank, Tags.PIECE, piece,
+                                          nbytes=nbytes)
+            moved += item.nbytes
+            self.subchunks_processed += 1
+        fh.close()
+        self.bytes_read += moved
+        return moved

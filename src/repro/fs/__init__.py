@@ -1,0 +1,33 @@
+"""File-system substrate: the per-I/O-node "AIX JFS" model.
+
+Each Panda server runs on an I/O node that owns its own file system
+(the NAS SP2 had no parallel file system; "Panda uses the AIX file
+system directly on each i/o node", paper section 3).  We model that as
+one :class:`FileSystem` per server, each with:
+
+- a :class:`DiskModel` -- the timing model, calibrated to Table 1
+  (see :mod:`repro.machine`), with sequential-access detection and a
+  FIFO disk-arm resource;
+- a byte store -- :class:`MemoryStore` keeps real bytes for
+  verification, :class:`ExtentStore` keeps only sizes for the large
+  virtual-payload sweeps;
+- an optional :class:`BufferCache` with sequential read-ahead and
+  write-behind, used by the traditional-caching baseline (Panda itself
+  relies on the native file system's caching being driven well by its
+  sequential access pattern, which the disk model's sequential /
+  non-sequential distinction captures).
+"""
+
+from repro.fs.cache import BufferCache
+from repro.fs.disk import DiskModel
+from repro.fs.filesystem import FileHandle, FileSystem
+from repro.fs.store import ExtentStore, MemoryStore
+
+__all__ = [
+    "BufferCache",
+    "DiskModel",
+    "ExtentStore",
+    "FileHandle",
+    "FileSystem",
+    "MemoryStore",
+]

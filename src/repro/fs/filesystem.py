@@ -1,0 +1,147 @@
+"""Per-I/O-node file system: the Unix-flavoured API Panda servers use.
+
+``FileSystem`` hands out :class:`FileHandle` objects whose operations
+are process helpers (``yield from fh.write(block)``), combining the
+store (bytes) with the disk model (time).  Panda issues large aligned
+requests itself, so the Panda path talks straight to the disk model;
+the traditional-caching baseline layers :class:`repro.fs.cache.
+BufferCache` between the two instead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.fs.disk import DiskModel
+from repro.fs.store import ExtentStore, MemoryStore
+from repro.machine import MachineSpec
+from repro.mpi.datatypes import DataBlock
+from repro.sim import Simulator
+from repro.sim.trace import Trace
+
+__all__ = ["FileSystem", "FileHandle"]
+
+
+class FileSystem:
+    """One I/O node's file system."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: MachineSpec,
+        node: str = "ionode",
+        real: bool = True,
+        trace: Optional[Trace] = None,
+    ) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.node = node
+        self.trace = trace
+        self.store = MemoryStore() if real else ExtentStore()
+        self.disk = DiskModel(sim, spec, node=f"{node}.disk", trace=trace)
+
+    @property
+    def real(self) -> bool:
+        return self.store.real
+
+    def open(self, path: str, mode: str = "r") -> "FileHandle":
+        """Open ``path``; mode "w" truncates/creates, "r" requires the
+        file to exist, "a" appends (creates if missing)."""
+        if mode == "w":
+            self.store.create(path, truncate=True)
+            offset = 0
+        elif mode == "a":
+            self.store.create(path, truncate=False)
+            offset = self.store.size(path)
+        elif mode == "r":
+            if not self.store.exists(path):
+                raise FileNotFoundError(f"{self.node}: no such file {path!r}")
+            offset = 0
+        else:
+            raise ValueError(f"bad mode {mode!r}")
+        return FileHandle(self, path, mode, offset)
+
+    def exists(self, path: str) -> bool:
+        return self.store.exists(path)
+
+    def size(self, path: str) -> int:
+        return self.store.size(path)
+
+    def delete(self, path: str) -> None:
+        self.store.delete(path)
+
+    def read_all_bytes(self, path: str) -> bytes:
+        """Zero-time access to real file contents (verification only)."""
+        if not self.real:
+            raise ValueError("virtual file system holds no bytes")
+        return self.store.read_all(path)
+
+
+class FileHandle:
+    """An open file with a position; operations are process helpers."""
+
+    def __init__(self, fs: FileSystem, path: str, mode: str, offset: int) -> None:
+        self.fs = fs
+        self.path = path
+        self.mode = mode
+        self.offset = offset
+        self.closed = False
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    def _check_open(self, *, write: bool) -> None:
+        if self.closed:
+            raise ValueError(f"I/O on closed file {self.path!r}")
+        if write and self.mode == "r":
+            raise ValueError(f"file {self.path!r} opened read-only")
+        if not write and self.mode == "w" and False:  # reads after write allowed
+            pass
+
+    def seek(self, offset: int) -> None:
+        """Reposition; costs nothing now, but a following request that
+        breaks sequentiality pays the seek penalty in the disk model."""
+        if offset < 0:
+            raise ValueError("negative seek")
+        self.offset = offset
+
+    def write(self, block: DataBlock):
+        """Write ``block`` at the current offset (timed)."""
+        self._check_open(write=True)
+        data = block.to_bytes() if (block.is_real and self.fs.real) else None
+        if self.fs.real and data is None and block.nbytes > 0:
+            raise ValueError(
+                "real file system requires real payloads (got virtual block)"
+            )
+        yield from self.fs.disk.access(self.path, self.offset, block.nbytes, write=True)
+        self.fs.store.write(self.path, self.offset, data, block.nbytes)
+        self.offset += block.nbytes
+        self.bytes_written += block.nbytes
+
+    def read(self, nbytes: int):
+        """Read ``nbytes`` at the current offset (timed).  Returns a
+        :class:`DataBlock` (real or virtual to match the store)."""
+        self._check_open(write=False)
+        yield from self.fs.disk.access(self.path, self.offset, nbytes, write=False)
+        raw = self.fs.store.read(self.path, self.offset, nbytes)
+        self.offset += nbytes
+        self.bytes_read += nbytes
+        if raw is None:
+            return DataBlock.virtual(nbytes)
+        import numpy as np
+
+        return DataBlock.real(np.frombuffer(raw, dtype=np.uint8))
+
+    def fsync(self):
+        """Flush to disk.  The write path is write-through in this model
+        (every write is charged full disk time), so fsync is free; it is
+        kept as an explicit, traced event because the paper's methodology
+        calls it out ("We flush the data to disk using fsync for each
+        write operation")."""
+        self._check_open(write=False)
+        if self.fs.trace is not None:
+            self.fs.trace.emit(self.fs.sim.now, self.fs.node, "fsync", path=self.path)
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def close(self) -> None:
+        self.closed = True

@@ -1,0 +1,114 @@
+"""Byte stores backing the simulated file systems.
+
+Two implementations of one small interface:
+
+- :class:`MemoryStore` -- holds real bytes in ``bytearray``s, so tests
+  and examples can verify bit-exact round trips and reconstruct files
+  (e.g. concatenating server files written with a ``BLOCK,*,*`` schema
+  into a traditional-order array).
+- :class:`ExtentStore` -- records only file sizes; used with virtual
+  payloads for the paper-scale sweeps.
+
+Stores are pure state -- no simulation time passes here; timing lives
+in :class:`repro.fs.disk.DiskModel`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["MemoryStore", "ExtentStore"]
+
+
+class MemoryStore:
+    """Real bytes, one growable buffer per path."""
+
+    real = True
+
+    def __init__(self) -> None:
+        self._files: Dict[str, bytearray] = {}
+
+    def create(self, path: str, truncate: bool = True) -> None:
+        if truncate or path not in self._files:
+            self._files[path] = bytearray()
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def size(self, path: str) -> int:
+        return len(self._files[path])
+
+    def paths(self) -> list[str]:
+        return sorted(self._files)
+
+    def write(self, path: str, offset: int, data: Optional[bytes], nbytes: int) -> None:
+        if data is None:
+            raise ValueError("MemoryStore requires real bytes")
+        if len(data) != nbytes:
+            raise ValueError(f"write of {nbytes}B given {len(data)}B of data")
+        buf = self._files[path]
+        end = offset + nbytes
+        if len(buf) < end:
+            buf.extend(b"\x00" * (end - len(buf)))
+        buf[offset:end] = data
+
+    def read(self, path: str, offset: int, nbytes: int) -> bytes:
+        buf = self._files[path]
+        if offset + nbytes > len(buf):
+            raise ValueError(
+                f"read past EOF: {path} has {len(buf)}B, "
+                f"requested [{offset}, {offset + nbytes})"
+            )
+        return bytes(buf[offset : offset + nbytes])
+
+    def read_all(self, path: str) -> bytes:
+        return bytes(self._files[path])
+
+    def delete(self, path: str) -> None:
+        del self._files[path]
+
+    def total_bytes(self) -> int:
+        return sum(len(b) for b in self._files.values())
+
+
+class ExtentStore:
+    """Size-only store for virtual payloads.
+
+    Reads validate against the recorded extent, so protocol bugs that
+    would read past end-of-file still fail loudly in virtual mode.
+    """
+
+    real = False
+
+    def __init__(self) -> None:
+        self._sizes: Dict[str, int] = {}
+
+    def create(self, path: str, truncate: bool = True) -> None:
+        if truncate or path not in self._sizes:
+            self._sizes[path] = 0
+
+    def exists(self, path: str) -> bool:
+        return path in self._sizes
+
+    def size(self, path: str) -> int:
+        return self._sizes[path]
+
+    def paths(self) -> list[str]:
+        return sorted(self._sizes)
+
+    def write(self, path: str, offset: int, data: Optional[bytes], nbytes: int) -> None:
+        self._sizes[path] = max(self._sizes[path], offset + nbytes)
+
+    def read(self, path: str, offset: int, nbytes: int) -> None:
+        if offset + nbytes > self._sizes[path]:
+            raise ValueError(
+                f"read past EOF: {path} has {self._sizes[path]}B, "
+                f"requested [{offset}, {offset + nbytes})"
+            )
+        return None
+
+    def delete(self, path: str) -> None:
+        del self._sizes[path]
+
+    def total_bytes(self) -> int:
+        return sum(self._sizes.values())

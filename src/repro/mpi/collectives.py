@@ -1,0 +1,150 @@
+"""MPI-style collectives over the point-to-point substrate.
+
+Panda itself deliberately avoids collectives -- its whole control flow
+is the master handshake plus server-directed point-to-point traffic --
+but the *applications* of 1995 (and the two-phase baseline) used them,
+so the substrate provides the classic set: barrier, broadcast, scatter,
+gather, all-gather, all-to-all.  All are implemented the way MPI-F on
+the SP2 did small-cluster collectives: linear fan-in/fan-out through a
+root, which is also what keeps the simulated costs honest for the node
+counts the paper uses (<= 64).
+
+Every operation is SPMD: each rank of ``ranks`` calls the same function
+with the same argument list, and yields from it.  The root is
+``ranks[0]`` unless given.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.mpi.comm import Communicator
+
+__all__ = [
+    "alltoall",
+    "allgather",
+    "barrier",
+    "bcast",
+    "gather",
+    "scatter",
+]
+
+# tag block reserved for collective plumbing
+_TAG_BARRIER_IN = 60
+_TAG_BARRIER_OUT = 61
+_TAG_BCAST = 62
+_TAG_SCATTER = 63
+_TAG_GATHER = 64
+_TAG_ALLGATHER = 65
+_TAG_ALLTOALL = 66
+
+
+def _root_of(ranks: Sequence[int], root: Optional[int]) -> int:
+    if root is None:
+        return ranks[0]
+    if root not in ranks:
+        raise ValueError(f"root {root} not in ranks {tuple(ranks)}")
+    return root
+
+
+def barrier(comm: Communicator, ranks: Sequence[int], root: Optional[int] = None):
+    """Linear barrier: everyone reports to the root, the root releases
+    everyone."""
+    root = _root_of(ranks, root)
+    if comm.rank == root:
+        yield from comm.gather_recv(ranks, _TAG_BARRIER_IN)
+        yield from comm.bcast_send(ranks, _TAG_BARRIER_OUT)
+    else:
+        yield from comm.send(root, _TAG_BARRIER_IN)
+        yield from comm.recv(src=root, tag=_TAG_BARRIER_OUT)
+
+
+def bcast(comm: Communicator, ranks: Sequence[int], value: Any = None,
+          nbytes: Optional[int] = None, root: Optional[int] = None):
+    """Broadcast ``value`` from the root; returns it on every rank."""
+    root = _root_of(ranks, root)
+    if comm.rank == root:
+        yield from comm.bcast_send(ranks, _TAG_BCAST, value, nbytes)
+        return value
+    msg = yield from comm.recv(src=root, tag=_TAG_BCAST)
+    return msg.payload
+
+
+def scatter(comm: Communicator, ranks: Sequence[int],
+            values: Optional[Sequence[Any]] = None,
+            nbytes: Optional[int] = None, root: Optional[int] = None):
+    """Root distributes ``values[i]`` to ``ranks[i]``; each rank
+    returns its element."""
+    root = _root_of(ranks, root)
+    if comm.rank == root:
+        if values is None or len(values) != len(ranks):
+            raise ValueError("root must pass one value per rank")
+        mine = None
+        for r, v in zip(ranks, values):
+            if r == comm.rank:
+                mine = v
+                continue
+            yield from comm.send(r, _TAG_SCATTER, v, nbytes)
+        return mine
+    msg = yield from comm.recv(src=root, tag=_TAG_SCATTER)
+    return msg.payload
+
+
+def gather(comm: Communicator, ranks: Sequence[int], value: Any = None,
+           nbytes: Optional[int] = None, root: Optional[int] = None):
+    """Everyone contributes ``value``; the root returns the list in
+    rank order, others return None."""
+    root = _root_of(ranks, root)
+    if comm.rank == root:
+        msgs = yield from comm.gather_recv(ranks, _TAG_GATHER)
+        out = []
+        for r in ranks:
+            out.append(value if r == comm.rank else msgs[r].payload)
+        return out
+    yield from comm.send(root, _TAG_GATHER, value, nbytes)
+    return None
+
+
+def allgather(comm: Communicator, ranks: Sequence[int], value: Any = None,
+              nbytes: Optional[int] = None):
+    """Gather to ranks[0], then broadcast: every rank returns the full
+    rank-ordered list."""
+    root = ranks[0]
+    gathered = yield from gather(comm, ranks, value, nbytes, root=root)
+    if comm.rank == root:
+        yield from comm.bcast_send(ranks, _TAG_ALLGATHER, gathered, nbytes)
+        return gathered
+    msg = yield from comm.recv(src=root, tag=_TAG_ALLGATHER)
+    return msg.payload
+
+
+def alltoall(comm: Communicator, ranks: Sequence[int],
+             values: Optional[Dict[int, Any]] = None,
+             nbytes_per: Optional[int] = None):
+    """Personalised exchange: ``values[r]`` goes to rank ``r``; returns
+    {src: value} including this rank's own entry.
+
+    Schedule: each rank sends to the rank ``k`` positions ahead for
+    ``k = 1 .. n-1`` (spreading load across destinations), then drains
+    its ``n-1`` incoming messages.  Sends complete at link release and
+    deliveries are buffered in mailboxes, so no recv ordering can
+    deadlock -- which is also how eager-protocol MPI behaved for these
+    message sizes.
+    """
+    values = values or {}
+    n = len(ranks)
+    pos = {r: i for i, r in enumerate(ranks)}
+    if comm.rank not in pos:
+        raise ValueError(f"rank {comm.rank} not in the collective")
+    me = pos[comm.rank]
+    out: Dict[int, Any] = {}
+    if comm.rank in values:
+        out[comm.rank] = values[comm.rank]
+    for k in range(1, n):
+        dst = ranks[(me + k) % n]
+        yield from comm.send(dst, _TAG_ALLTOALL, values.get(dst), nbytes_per)
+    for k in range(1, n):
+        src = ranks[(me - k) % n]
+        msg = yield from comm.recv(src=src, tag=_TAG_ALLTOALL)
+        out[src] = msg.payload
+    return out

@@ -1,0 +1,133 @@
+"""Per-rank communicator: the mpi4py-flavoured API processes use.
+
+All operations are *process helpers*: invoke them with ``yield from``
+inside a simulation process, e.g. ::
+
+    yield from comm.send(dst=3, tag=FETCH, payload=req)
+    msg = yield from comm.recv(tag=FETCH)
+
+Blocking semantics follow the paper's implementation notes: ``send``
+returns when the transfer has left the node (the SP2's blocking MPI
+send), ``recv`` blocks until a matching message is in the mailbox.
+``isend`` returns immediately with a delivery event for the
+non-blocking variant the paper names as future work.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.mpi.message import CONTROL_MESSAGE_BYTES, MESSAGE_HEADER_BYTES, Message
+from repro.mpi.network import Network
+from repro.sim import Event
+
+__all__ = ["Communicator"]
+
+
+class Communicator:
+    """One rank's endpoint on a :class:`Network`."""
+
+    def __init__(self, network: Network, rank: int) -> None:
+        network._check_rank(rank)
+        self.network = network
+        self.rank = rank
+        self.sim = network.sim
+        self.spec = network.spec
+
+    # -- point to point -----------------------------------------------------
+    def send(self, dst: int, tag: int, payload: Any = None, nbytes: Optional[int] = None):
+        """Blocking send; completes when the sender's buffer is free.
+        ``nbytes`` defaults to the control-message wire size."""
+        wire = CONTROL_MESSAGE_BYTES if nbytes is None else nbytes + MESSAGE_HEADER_BYTES
+        yield from self._run_transfer(dst, tag, payload, wire)
+
+    def isend(self, dst: int, tag: int, payload: Any = None, nbytes: Optional[int] = None) -> Event:
+        """Non-blocking send.  Returns an event that fires on delivery
+        at the destination."""
+        wire = CONTROL_MESSAGE_BYTES if nbytes is None else nbytes + MESSAGE_HEADER_BYTES
+        done = self.sim.event(name=f"isend {self.rank}->{dst}")
+        proc = self.sim.spawn(
+            self._isend_proc(dst, tag, payload, wire, done),
+            name=f"isend[{self.rank}->{dst}]",
+        )
+        # surface transfer errors through the returned event
+        proc.add_callback(lambda p: done.fail(p.exception) if p.exception else None)
+        return done
+
+    def _isend_proc(self, dst, tag, payload, wire, done: Event):
+        delivered = yield from self._transfer_gen(dst, tag, payload, wire)
+        yield delivered
+        done.succeed(delivered.value)
+
+    def _transfer_gen(self, dst, tag, payload, wire):
+        delivered = yield from self.network.transfer(self.rank, dst, tag, payload, wire)
+        return delivered
+
+    def _run_transfer(self, dst, tag, payload, wire):
+        # blocking send: run the transfer generator to completion (links
+        # released) without waiting for the delivery event
+        yield from self.network.transfer(self.rank, dst, tag, payload, wire)
+
+    def recv(self, src: Optional[int] = None, tag: Optional[int] = None,
+             tags: Optional[Iterable[int]] = None):
+        """Blocking receive.  Matches on source and/or tag; ``tags``
+        accepts any of a set (used by serve loops that listen for both
+        data and completion messages).  FIFO among matches."""
+        if tag is not None and tags is not None:
+            raise ValueError("pass either tag or tags, not both")
+        tagset = frozenset(tags) if tags is not None else None
+
+        def pred(msg: Message) -> bool:
+            if src is not None and msg.src != src:
+                return False
+            if tag is not None and msg.tag != tag:
+                return False
+            if tagset is not None and msg.tag not in tagset:
+                return False
+            return True
+
+        msg = yield self.network.mailboxes[self.rank].get(pred)
+        return msg
+
+    def probe_pending(self) -> int:
+        """Number of undelivered messages in this rank's mailbox."""
+        return len(self.network.mailboxes[self.rank])
+
+    # -- local costs ---------------------------------------------------------
+    def compute(self, seconds: float):
+        """Charge local CPU/memory time on this rank."""
+        if seconds > 0:
+            yield self.sim.timeout(seconds)
+
+    def handle(self):
+        """Charge the per-message protocol-handling overhead."""
+        yield from self.compute(self.spec.request_handling_overhead)
+
+    def copy(self, nbytes: int, runs: int = 1):
+        """Charge a gather/scatter memory copy."""
+        yield from self.compute(self.spec.copy_time(nbytes, runs))
+
+    # -- simple collectives (used by baselines and the harness) ---------------
+    def bcast_send(self, ranks: Iterable[int], tag: int, payload: Any = None,
+                   nbytes: Optional[int] = None):
+        """Root side of a broadcast: sequential blocking sends, the way
+        Panda's master server informs the other servers."""
+        for r in ranks:
+            if r == self.rank:
+                continue
+            yield from self.send(r, tag, payload, nbytes)
+
+    def gather_recv(self, ranks: Iterable[int], tag: int):
+        """Root side of a gather: collect one message from each rank,
+        in any arrival order.  Returns {src: message}."""
+        expected = {r for r in ranks if r != self.rank}
+        out = {}
+        while expected:
+            msg = yield from self.recv(tag=tag)
+            if msg.src not in expected:
+                raise RuntimeError(
+                    f"gather on rank {self.rank} got unexpected source {msg.src}"
+                )
+            expected.discard(msg.src)
+            out[msg.src] = msg
+        return out

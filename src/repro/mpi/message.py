@@ -1,0 +1,50 @@
+"""Message envelopes.
+
+A :class:`Message` is what lands in a rank's mailbox: source,
+destination, an integer tag, an arbitrary Python payload (usually a
+protocol dataclass from :mod:`repro.core.protocol`), and the wire size
+that was charged for the transfer.
+
+Wire sizes: data-bearing messages charge their payload bytes plus a
+small header; pure control messages (requests, completions, schema
+descriptors) charge :data:`CONTROL_MESSAGE_BYTES` -- a flat 256 bytes,
+roughly what a marshalled region request costs, and small enough that
+control traffic is latency- not bandwidth-dominated, as on the SP2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Message", "CONTROL_MESSAGE_BYTES", "MESSAGE_HEADER_BYTES"]
+
+#: wire size charged for control-plane messages.
+CONTROL_MESSAGE_BYTES = 256
+#: envelope overhead added to data-plane messages.
+MESSAGE_HEADER_BYTES = 64
+
+_serial = itertools.count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """One delivered message."""
+
+    src: int
+    dst: int
+    tag: int
+    payload: Any
+    nbytes: int
+    #: simulation time at which the message entered the destination
+    #: mailbox (set by the network).
+    arrived_at: float = 0.0
+    #: global monotone id, for deterministic diagnostics.
+    serial: int = field(default_factory=lambda: next(_serial))
+
+    def __repr__(self) -> str:
+        return (
+            f"Message({self.src}->{self.dst} tag={self.tag} "
+            f"{self.nbytes}B {type(self.payload).__name__})"
+        )

@@ -1,0 +1,110 @@
+"""The interconnect model.
+
+One :class:`Network` owns, per rank, an *out* link and an *in* link
+(FIFO :class:`~repro.sim.Resource` of capacity 1) plus a mailbox
+(:class:`~repro.sim.Store`).  A transfer:
+
+1. waits for the sender's out link,
+2. waits for the receiver's in link (holding the out link -- this is
+   safe: in links are never held while waiting, so no cycle exists),
+3. holds both for ``nbytes / bandwidth``,
+4. releases both; the message is delivered to the mailbox
+   ``latency`` later (propagation does not occupy links).
+
+A blocking send completes at step 4 (the local buffer is free); an
+``isend`` completion event fires at mailbox delivery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.machine import MachineSpec
+from repro.mpi.message import Message
+from repro.sim import Event, Resource, Simulator, Store
+from repro.sim.trace import Trace
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A switch connecting ``n_nodes`` ranks under a :class:`MachineSpec`
+    cost model."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: MachineSpec,
+        n_nodes: int,
+        trace: Optional[Trace] = None,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError("network needs at least one node")
+        self.sim = sim
+        self.spec = spec
+        self.n_nodes = n_nodes
+        self.trace = trace
+        self.out_links = [
+            Resource(sim, 1, name=f"out[{i}]") for i in range(n_nodes)
+        ]
+        self.in_links = [Resource(sim, 1, name=f"in[{i}]") for i in range(n_nodes)]
+        self.mailboxes = [Store(sim, name=f"mbox[{i}]") for i in range(n_nodes)]
+        # accounting
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.n_nodes:
+            raise ValueError(f"rank {rank} out of range [0, {self.n_nodes})")
+
+    def transfer(self, src: int, dst: int, tag: int, payload: Any, nbytes: int):
+        """Process generator performing one transfer.  Returns (via
+        StopIteration) the delivery :class:`~repro.sim.Event`, which
+        fires when the message reaches the destination mailbox.
+
+        The generator itself completes when the sender is free (links
+        released), which is what a blocking send waits for.
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        if src == dst:
+            raise ValueError(f"self-send on rank {src} (tag {tag})")
+        if nbytes < 0:
+            raise ValueError("message size must be >= 0")
+        sim = self.sim
+        yield self.out_links[src].acquire()
+        try:
+            yield self.in_links[dst].acquire()
+            try:
+                transfer_time = nbytes / self.spec.network_bandwidth
+                if transfer_time > 0:
+                    yield sim.timeout(transfer_time)
+            finally:
+                self.in_links[dst].release()
+        finally:
+            self.out_links[src].release()
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        delivered = sim.event(name=f"delivery {src}->{dst}")
+        sim.schedule(self.spec.network_latency, self._deliver, src, dst, tag, payload, nbytes, delivered)
+        return delivered
+
+    def _deliver(self, src: int, dst: int, tag: int, payload: Any, nbytes: int, delivered: Event) -> None:
+        msg = Message(src, dst, tag, payload, nbytes, arrived_at=self.sim.now)
+        self.mailboxes[dst].put(msg)
+        if self.trace is not None:
+            self.trace.emit(
+                self.sim.now,
+                f"net",
+                "message",
+                src=src,
+                dst=dst,
+                tag=tag,
+                nbytes=nbytes,
+            )
+        delivered.succeed(msg)
+
+    def comm(self, rank: int) -> "Communicator":
+        from repro.mpi.comm import Communicator
+
+        return Communicator(self, rank)

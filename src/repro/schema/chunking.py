@@ -1,0 +1,179 @@
+"""Data schemas: array shape x mesh x distribution -> chunk geometry.
+
+A :class:`DataSchema` answers the questions Panda's clients and servers
+ask during plan formation:
+
+- which region of the array does mesh position *p* hold?  (`chunk_region`)
+- what are all the chunks, in canonical order?  (`chunks`)
+- which chunks intersect a given region?  (`chunks_intersecting`)
+
+"Natural chunking" (the paper's default) is simply a disk
+:class:`DataSchema` equal to the memory one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple, Union
+
+from repro.schema.distribution import BLOCK, Dist, block_span, parse_dist
+from repro.schema.layout import Mesh
+from repro.schema.regions import Region
+
+__all__ = ["Chunk", "DataSchema"]
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One chunk of a schema: its canonical id, the mesh coordinates of
+    its owner position, and its global region.  May be empty when the
+    HPF BLOCK rule leaves trailing mesh positions without data."""
+
+    index: int
+    mesh_coords: Tuple[int, ...]
+    region: Region
+
+    @property
+    def empty(self) -> bool:
+        return self.region.empty
+
+
+@dataclass(frozen=True)
+class DataSchema:
+    """An HPF BLOCK/* decomposition of an array over a mesh.
+
+    ``dists`` has one directive per *array* dimension; the directives
+    that are ``BLOCK`` consume mesh dimensions in order, so the number
+    of BLOCK directives must equal the mesh rank.  (This matches the
+    paper's API, where ``memory_layout = {8, 8}`` pairs with
+    ``{BLOCK, BLOCK, NONE}``.)
+    """
+
+    shape: Tuple[int, ...]
+    mesh: Mesh
+    dists: Tuple[Dist, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shape", tuple(int(s) for s in self.shape))
+        object.__setattr__(self, "dists", tuple(parse_dist(d) for d in self.dists))
+        if not self.shape:
+            raise ValueError("array rank must be >= 1")
+        if any(s < 1 for s in self.shape):
+            raise ValueError(f"array shape must be positive: {self.shape}")
+        if len(self.dists) != len(self.shape):
+            raise ValueError(
+                f"{len(self.dists)} directives for rank-{len(self.shape)} array"
+            )
+        for d in self.dists:
+            if d.kind == "CYCLIC":
+                raise NotImplementedError(
+                    "CYCLIC distributions are outside Panda's chunk model "
+                    "(one hyper-rectangle per mesh position); use BLOCK or *"
+                )
+        n_block = sum(1 for d in self.dists if d.distributed)
+        if n_block != self.mesh.ndim:
+            raise ValueError(
+                f"schema has {n_block} BLOCK dimensions but the mesh has "
+                f"rank {self.mesh.ndim}; they must match"
+            )
+
+    # -- factory -----------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        shape: Sequence[int],
+        mesh_dims: Sequence[int],
+        dists: Sequence[Union[str, Dist]],
+    ) -> "DataSchema":
+        return cls(tuple(shape), Mesh(tuple(mesh_dims)), tuple(parse_dist(d) for d in dists))
+
+    # -- geometry -----------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def n_chunks(self) -> int:
+        """Number of mesh positions (= chunks, some possibly empty)."""
+        return self.mesh.size
+
+    @property
+    def full_region(self) -> Region:
+        return Region.from_shape(self.shape)
+
+    def chunk_region(self, mesh_coords: Sequence[int]) -> Region:
+        """The global region held by the given mesh position."""
+        coords = tuple(mesh_coords)
+        if len(coords) != self.mesh.ndim:
+            raise ValueError(
+                f"mesh coords rank {len(coords)} != mesh rank {self.mesh.ndim}"
+            )
+        lo: List[int] = []
+        hi: List[int] = []
+        m = 0  # next mesh dimension to consume
+        for extent, dist in zip(self.shape, self.dists):
+            if dist.distributed:
+                l, h = block_span(extent, self.mesh.dims[m], coords[m])
+                m += 1
+            else:
+                l, h = 0, extent
+            lo.append(l)
+            hi.append(h)
+        return Region(tuple(lo), tuple(hi))
+
+    def chunk(self, index: int) -> Chunk:
+        """Chunk by canonical (row-major mesh) id."""
+        coords = self.mesh.coords_of(index)
+        return Chunk(index, coords, self.chunk_region(coords))
+
+    def chunks(self, include_empty: bool = False) -> Iterator[Chunk]:
+        """All chunks in canonical order.  Empty chunks (possible when
+        mesh dims exceed array extents) are skipped unless requested."""
+        for i in range(self.mesh.size):
+            c = self.chunk(i)
+            if include_empty or not c.empty:
+                yield c
+
+    def chunks_intersecting(self, region: Region) -> List[Tuple[Chunk, Region]]:
+        """All (chunk, overlap) pairs whose region meets ``region``,
+        in canonical chunk order."""
+        out = []
+        for c in self.chunks():
+            overlap = c.region.intersect(region)
+            if overlap is not None:
+                out.append((c, overlap))
+        return out
+
+    def owner_of_point(self, point: Sequence[int]) -> Chunk:
+        """The chunk containing ``point`` (computed directly, not by
+        search)."""
+        coords: List[int] = []
+        m = 0
+        for extent, dist, p in zip(self.shape, self.dists, point):
+            if not 0 <= p < extent:
+                raise ValueError(f"point {tuple(point)} outside array {self.shape}")
+            if dist.distributed:
+                parts = self.mesh.dims[m]
+                b = -(-extent // parts)
+                coords.append(p // b)
+                m += 1
+        idx = self.mesh.index_of(tuple(coords))
+        return self.chunk(idx)
+
+    # -- descriptions -------------------------------------------------------
+    def describe(self) -> dict:
+        """A plain-data description (what travels in the collective
+        request and what the ``.schema`` file stores)."""
+        return {
+            "shape": list(self.shape),
+            "mesh": list(self.mesh.dims),
+            "dists": [d.kind for d in self.dists],
+        }
+
+    @classmethod
+    def from_description(cls, desc: dict) -> "DataSchema":
+        return cls.build(desc["shape"], desc["mesh"], desc["dists"])
+
+    def __repr__(self) -> str:
+        dd = ",".join(repr(d) for d in self.dists)
+        return f"DataSchema({'x'.join(map(str, self.shape))} as [{dd}] on {self.mesh!r})"

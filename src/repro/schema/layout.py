@@ -1,0 +1,72 @@
+"""Logical processor meshes.
+
+A :class:`Mesh` names the grid of positions an array is decomposed
+over: the paper's ``ArrayLayout("memory layout", 2, {8, 8})`` is an
+8x8 mesh of 64 compute nodes, and the logical I/O-node mesh for a
+``BLOCK,*,*`` disk schema on ``n`` servers is ``Mesh((n,))``.
+
+Positions are numbered in row-major order, which is how Panda binds
+mesh positions to MPI ranks (client ranks) or to server indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+__all__ = ["Mesh"]
+
+
+@dataclass(frozen=True)
+class Mesh:
+    """A logical grid of processor positions with row-major numbering."""
+
+    dims: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.dims:
+            raise ValueError("mesh must have rank >= 1")
+        if any(d < 1 for d in self.dims):
+            raise ValueError(f"mesh dims must be positive: {self.dims}")
+        object.__setattr__(self, "dims", tuple(int(d) for d in self.dims))
+
+    @property
+    def ndim(self) -> int:
+        return len(self.dims)
+
+    @property
+    def size(self) -> int:
+        """Number of positions in the mesh."""
+        n = 1
+        for d in self.dims:
+            n *= d
+        return n
+
+    def coords_of(self, index: int) -> Tuple[int, ...]:
+        """Row-major coordinates of position ``index``."""
+        if not 0 <= index < self.size:
+            raise ValueError(f"mesh index {index} out of range (size {self.size})")
+        coords = []
+        for d in reversed(self.dims):
+            coords.append(index % d)
+            index //= d
+        return tuple(reversed(coords))
+
+    def index_of(self, coords: Sequence[int]) -> int:
+        """Row-major position number of ``coords``."""
+        if len(coords) != self.ndim:
+            raise ValueError(f"coords rank {len(coords)} != mesh rank {self.ndim}")
+        idx = 0
+        for c, d in zip(coords, self.dims):
+            if not 0 <= c < d:
+                raise ValueError(f"mesh coords {tuple(coords)} out of range {self.dims}")
+            idx = idx * d + c
+        return idx
+
+    def iter_coords(self) -> Iterator[Tuple[int, ...]]:
+        """All positions in row-major order."""
+        for i in range(self.size):
+            yield self.coords_of(i)
+
+    def __repr__(self) -> str:
+        return "Mesh(" + "x".join(str(d) for d in self.dims) + ")"

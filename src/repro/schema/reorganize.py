@@ -1,0 +1,93 @@
+"""The reorganisation engine: copying data between regions and chunks.
+
+"In Panda's server-directed i/o architecture, array data is
+automatically reorganized whenever the in-memory schema and the on-disk
+schema differ" (paper, section 3).  Mechanically, reorganisation is
+nothing but region-shaped gather/scatter copies:
+
+- a **client** asked for sub-chunk piece *R* gathers ``R`` out of its
+  local chunk (``extract_region``), which is a strided read when *R*
+  does not span the chunk's trailing dimensions;
+- a **server** assembling a sub-chunk scatters each received piece into
+  its sub-chunk buffer (``inject_region``), producing the chunk in
+  traditional (row-major) order;
+- the reverse happens on reads.
+
+All functions operate on C-contiguous NumPy arrays holding a chunk in
+row-major order, with the chunk's global origin given separately, so
+the same code serves memory chunks, disk chunks and sub-chunk buffers.
+
+``region_runs`` exposes the contiguous-run structure used by the cost
+model (one memcpy per run).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.schema.regions import Region
+
+__all__ = ["extract_region", "inject_region", "gather_into", "region_runs"]
+
+
+def _local_slices(region: Region, origin: Sequence[int], shape: Tuple[int, ...]) -> Tuple[slice, ...]:
+    """Slices selecting global ``region`` from a chunk array of ``shape``
+    whose lowest global corner is ``origin``."""
+    local = region.relative_to(origin)
+    if any(l < 0 for l in local.lo) or any(h > s for h, s in zip(local.hi, shape)):
+        raise ValueError(
+            f"region {region} does not fit in chunk at origin {tuple(origin)} "
+            f"with shape {shape}"
+        )
+    return local.slices()
+
+
+def extract_region(
+    chunk: np.ndarray, origin: Sequence[int], region: Region
+) -> np.ndarray:
+    """Gather global ``region`` out of ``chunk`` (whose global origin is
+    ``origin``) into a fresh C-contiguous array of ``region.shape``."""
+    sl = _local_slices(region, origin, chunk.shape)
+    return np.ascontiguousarray(chunk[sl])
+
+
+def inject_region(
+    chunk: np.ndarray, origin: Sequence[int], region: Region, data: np.ndarray
+) -> None:
+    """Scatter ``data`` (shaped like ``region``) into ``chunk`` at the
+    position of global ``region``."""
+    sl = _local_slices(region, origin, chunk.shape)
+    view = chunk[sl]
+    data = np.asarray(data)
+    if data.shape != view.shape:
+        data = data.reshape(view.shape)
+    view[...] = data
+
+
+def gather_into(
+    dst: np.ndarray,
+    dst_origin: Sequence[int],
+    src: np.ndarray,
+    src_origin: Sequence[int],
+    region: Region,
+) -> None:
+    """Copy global ``region`` from ``src`` into ``dst`` where both are
+    chunk arrays with the given global origins.  One call performs a
+    full reorganisation step without intermediate buffers."""
+    src_sl = _local_slices(region, src_origin, src.shape)
+    dst_sl = _local_slices(region, dst_origin, dst.shape)
+    dst[dst_sl] = src[src_sl]
+
+
+def region_runs(region: Region, chunk_region: Region) -> Tuple[int, int]:
+    """Contiguous-run structure of accessing ``region`` inside a chunk
+    stored row-major over ``chunk_region``: ``(n_runs, run_elems)``.
+
+    The simulation charges ``copy_time(nbytes, n_runs)`` for a gather or
+    scatter; ``n_runs == 1`` means the access is one contiguous span
+    (and, for a piece equal to the whole transfer, can be sent
+    zero-copy).
+    """
+    return region.contiguous_runs_within(chunk_region)

@@ -1,0 +1,400 @@
+"""The discrete-event engine: clock, event heap, processes, waitables.
+
+Design
+------
+A :class:`Simulator` owns a priority queue of ``(time, sequence,
+callback)`` entries.  Ties in time are broken by insertion order, which
+makes every simulation fully deterministic.
+
+Simulation *processes* are Python generators.  A process advances by
+``yield``-ing a waitable -- a :class:`Timeout`, an :class:`Event`,
+another :class:`Process`, or a combinator (:class:`AllOf`,
+:class:`AnyOf`).  When the waitable fires, the engine resumes the
+generator, sending in the waitable's value.  A failed waitable raises
+inside the generator at the ``yield``, so ordinary ``try``/``except``
+works for error handling.
+
+The engine is single-threaded and re-entrant only through the event
+loop; callbacks must not call :meth:`Simulator.run`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]
+
+ProcessGenerator = Generator[Any, Any, Any]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state
+    (deadlock with pending processes, double-firing an event, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted via
+    :meth:`Process.interrupt`.  ``cause`` carries the reason."""
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *pending* until :meth:`succeed` or :meth:`fail` is
+    called, after which it is *triggered* and holds a value (or an
+    exception).  Waiting on an already-triggered event resumes the
+    waiter immediately (at the current simulation time).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered", "_defused", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.callbacks: Optional[list[Callable[[Event], None]]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._triggered = False
+        #: a failure is "defused" once someone observes it (waits on the
+        #: event or reads its exception); undefused failures abort the run.
+        self._defused = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """True once the event has succeeded."""
+        return self._triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError(f"event {self!r} has no value yet")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        if self._triggered and self._exc is not None:
+            self._defused = True
+        return self._exc if self._triggered else None
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        self._trigger(value, None)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._trigger(None, exc)
+        return self
+
+    def _trigger(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self._triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self._exc = exc
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for cb in callbacks:
+            self.sim.schedule(0.0, cb, self)
+
+    # -- waiting ---------------------------------------------------------
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Register ``cb(event)``; runs immediately (via the event queue)
+        if the event has already triggered."""
+        self._defused = True
+        if self._triggered:
+            self.sim.schedule(0.0, cb, self)
+        else:
+            assert self.callbacks is not None
+            self.callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=f"timeout({delay:g})")
+        self.delay = delay
+        sim.schedule(delay, self._fire, value)
+
+    def _fire(self, value: Any) -> None:
+        self.succeed(value)
+
+
+class AllOf(Event):
+    """Fires when every child event has succeeded; value is the list of
+    child values in the order given.  Fails as soon as any child fails."""
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, name="all_of")
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for ev in self._children:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if ev.exception is not None:
+            self.fail(ev.exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c.value for c in self._children])
+
+
+class AnyOf(Event):
+    """Fires as soon as one child triggers; value is ``(index, value)``
+    of the first child to succeed.  Fails if the first child to trigger
+    failed."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, name="any_of")
+        self._children = list(events)
+        if not self._children:
+            raise ValueError("AnyOf requires at least one event")
+        for idx, ev in enumerate(self._children):
+            ev.add_callback(lambda e, i=idx: self._on_child(i, e))
+
+    def _on_child(self, idx: int, ev: Event) -> None:
+        if self._triggered:
+            return
+        if ev.exception is not None:
+            self.fail(ev.exception)
+        else:
+            self.succeed((idx, ev.value))
+
+
+class Process(Event):
+    """A running simulation coroutine.
+
+    A process is itself an event that triggers when the coroutine
+    returns (value = the generator's return value) or raises (failure).
+    Processes may therefore be ``yield``-ed by other processes to join
+    on them.
+    """
+
+    __slots__ = ("_gen", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGenerator, name: str = "") -> None:
+        if not hasattr(gen, "send"):
+            raise TypeError(f"Process requires a generator, got {type(gen).__name__}")
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        sim.schedule(0.0, self._resume, _InitialResume(sim))
+        sim._live_processes += 1
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current
+        ``yield``.  No-op on a finished process."""
+        if self._triggered:
+            return
+        target = _InterruptResume(self.sim, Interrupt(cause))
+        self.sim.schedule(0.0, self._resume, target)
+
+    def _resume(self, trigger: Event) -> None:
+        if self._triggered:
+            return  # interrupted-then-completed race: stale wakeup
+        if self._waiting_on is not None and trigger is not self._waiting_on:
+            if not isinstance(trigger, _InterruptResume):
+                return  # stale wakeup from an abandoned AnyOf branch
+        self._waiting_on = None
+        throw: Optional[BaseException] = None
+        if isinstance(trigger, _InterruptResume):
+            throw = trigger.interrupt
+        elif trigger.exception is not None:
+            throw = trigger.exception
+        while True:
+            try:
+                if throw is not None:
+                    target = self._gen.throw(throw)
+                else:
+                    target = self._gen.send(
+                        None if isinstance(trigger, _InitialResume) else trigger.value
+                    )
+            except StopIteration as stop:
+                self.sim._live_processes -= 1
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self.sim._live_processes -= 1
+                self.fail(exc)
+                # if nobody joins this process its crash must not be
+                # silent; give waiters one event-queue round to observe
+                # (defuse) it.
+                self.sim.schedule(0.0, self._report_if_undefused, exc)
+                return
+            try:
+                event = self._coerce(target)
+            except TypeError as exc:
+                # bad yield: throw the error back into the generator so
+                # the process (or its joiner) sees it
+                throw = exc
+                continue
+            break
+        self._waiting_on = event
+        event.add_callback(self._resume)
+
+    def _report_if_undefused(self, exc: BaseException) -> None:
+        if not self._defused:
+            self.sim._unhandled.append((self, exc))
+
+    def _coerce(self, target: Any) -> Event:
+        if isinstance(target, Event):
+            return target
+        if hasattr(target, "send"):
+            # yielding a bare generator spawns-and-joins it
+            return Process(self.sim, target)
+        raise TypeError(
+            f"process {self.name!r} yielded {target!r}; expected an Event, "
+            "Timeout, Process, AllOf/AnyOf, or a generator"
+        )
+
+
+class _InitialResume(Event):
+    """Sentinel trigger used for the very first resume of a process."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator") -> None:
+        super().__init__(sim, name="init")
+        self._triggered = True
+
+
+class _InterruptResume(Event):
+    """Sentinel trigger carrying an :class:`Interrupt`."""
+
+    __slots__ = ("interrupt",)
+
+    def __init__(self, sim: "Simulator", interrupt: Interrupt) -> None:
+        super().__init__(sim, name="interrupt")
+        self._triggered = True
+        self.interrupt = interrupt
+
+
+class Simulator:
+    """The event loop: a virtual clock plus a deterministic event heap."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
+        self._seq = 0
+        self._live_processes = 0
+        self._unhandled: list[tuple[Process, BaseException]] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    # -- scheduling ------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        heapq.heappush(self._heap, (self._now + delay, self._seq, callback, args))
+        self._seq += 1
+
+    # -- factory helpers ---------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def spawn(self, gen: ProcessGenerator, name: str = "") -> Process:
+        """Start a new process from ``gen``; it first runs at the current
+        simulation time, after already-queued events."""
+        return Process(self, gen, name)
+
+    # -- execution ---------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next queued event.  Returns False when the queue
+        is empty."""
+        if not self._heap:
+            return False
+        t, _seq, callback, args = heapq.heappop(self._heap)
+        if t < self._now - 1e-15:
+            raise SimulationError("time went backwards")
+        self._now = max(self._now, t)
+        callback(*args)
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event queue drains (or simulated time passes
+        ``until``).  Raises the first unhandled process exception, and
+        raises :class:`SimulationError` on deadlock (live processes but
+        no queued events).  Returns the final simulation time."""
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self._now = until
+                break
+            self.step()
+            if self._unhandled:
+                proc, exc = self._unhandled.pop(0)
+                raise SimulationError(
+                    f"unhandled failure in process {proc.name!r}"
+                ) from exc
+        if until is None and self._live_processes > 0:
+            raise SimulationError(
+                f"deadlock: {self._live_processes} live process(es) but no "
+                "pending events"
+            )
+        return self._now
+
+    def run_process(self, gen: ProcessGenerator, name: str = "") -> Any:
+        """Spawn ``gen``, run to completion, and return its value."""
+        proc = self.spawn(gen, name)
+        self.run()
+        return proc.value

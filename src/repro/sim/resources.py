@@ -1,0 +1,152 @@
+"""Contention primitives: FIFO resources and message stores.
+
+:class:`Resource` models a server with fixed capacity -- a network link,
+a disk arm, a CPU.  Acquisition is strictly FIFO, which keeps the
+simulation deterministic and models the in-order service of a switch
+port or disk queue.
+
+:class:`Store` is an unbounded FIFO queue with blocking ``get`` --
+the mailbox primitive under :mod:`repro.mpi`'s message matching.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """A FIFO multi-server resource.
+
+    Usage from a process::
+
+        yield resource.acquire()
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            resource.release()
+
+    or, equivalently, the one-shot helper::
+
+        yield from resource.serve(service_time)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+        # utilisation accounting
+        self._busy_time = 0.0
+        self._last_change = 0.0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def busy_time(self) -> float:
+        """Total server-seconds of service delivered so far."""
+        self._account()
+        return self._busy_time
+
+    def acquire(self) -> Event:
+        """Return an event that fires when a server slot is granted."""
+        ev = self.sim.event(name=f"acquire({self.name})")
+        if self._in_use < self.capacity and not self._waiters:
+            self._account()
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Release one held slot, waking the next FIFO waiter if any."""
+        if self._in_use <= 0:
+            raise RuntimeError(f"release of idle resource {self.name!r}")
+        self._account()
+        self._in_use -= 1
+        if self._waiters and self._in_use < self.capacity:
+            self._account()
+            self._in_use += 1
+            self._waiters.popleft().succeed(self)
+
+    def serve(self, service_time: float) -> Generator[Event, Any, None]:
+        """Process helper: acquire, hold for ``service_time``, release."""
+        yield self.acquire()
+        try:
+            if service_time > 0:
+                yield self.sim.timeout(service_time)
+        finally:
+            self.release()
+
+
+class Store:
+    """An unbounded FIFO store with blocking ``get``.
+
+    ``put`` never blocks.  ``get`` optionally takes a predicate; the
+    *oldest* matching item is returned, preserving FIFO among matches
+    (this is what MPI tag/source matching requires).
+    """
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[tuple[Event, Optional[Callable[[Any], bool]]]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        self._items.append(item)
+        self._dispatch()
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
+        """Return an event that fires with the oldest matching item."""
+        ev = self.sim.event(name=f"get({self.name})")
+        self._getters.append((ev, predicate))
+        self._dispatch()
+        return ev
+
+    def peek_all(self) -> list[Any]:
+        """Snapshot of queued items (for diagnostics)."""
+        return list(self._items)
+
+    def _dispatch(self) -> None:
+        # repeatedly satisfy the oldest getter that has a matching item
+        progress = True
+        while progress and self._getters and self._items:
+            progress = False
+            for g_idx, (ev, pred) in enumerate(self._getters):
+                match_idx = None
+                if pred is None:
+                    match_idx = 0
+                else:
+                    for i_idx, item in enumerate(self._items):
+                        if pred(item):
+                            match_idx = i_idx
+                            break
+                if match_idx is not None:
+                    item = self._items[match_idx]
+                    del self._items[match_idx]
+                    del self._getters[g_idx]
+                    ev.succeed(item)
+                    progress = True
+                    break

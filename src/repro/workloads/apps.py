@@ -1,0 +1,79 @@
+"""Reusable SPMD application generators.
+
+An "app" is what :meth:`repro.core.runtime.PandaRuntime.run` executes on
+every compute rank: ``app(ctx, ...)`` returning a generator.  These
+cover the primitive operations the paper's experiments measure ("Our
+experiments measure Panda's performance to read and write a single
+array and multiple arrays.  These read and write operations are
+primitive operations in Panda that underlie Panda's timestep,
+checkpoint, and restart operations.").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.api import Array, ArrayGroup
+
+__all__ = ["write_array_app", "read_array_app", "write_read_roundtrip_app"]
+
+
+def write_array_app(arrays: Sequence[Array], dataset: str,
+                    data: Optional[Dict[str, Dict[int, np.ndarray]]] = None):
+    """App: bind local chunks (real data from ``data[name][rank]`` when
+    given) and collectively write ``arrays`` as one dataset."""
+    group = ArrayGroup(dataset)
+    for a in arrays:
+        group.include(a)
+
+    def app(ctx):
+        for a in arrays:
+            chunk = None
+            if data is not None:
+                chunk = data[a.name].get(ctx.group_index)
+            ctx.bind(a, chunk)
+        yield from group.write(ctx, dataset)
+
+    return app
+
+
+def read_array_app(arrays: Sequence[Array], dataset: str):
+    """App: bind zeroed local chunks and collectively read ``dataset``
+    into them."""
+    group = ArrayGroup(dataset)
+    for a in arrays:
+        group.include(a)
+
+    def app(ctx):
+        for a in arrays:
+            ctx.bind(a)
+        yield from group.read(ctx, dataset)
+
+    return app
+
+
+def write_read_roundtrip_app(arrays: Sequence[Array], dataset: str,
+                             data: Optional[Dict[str, Dict[int, np.ndarray]]] = None):
+    """App: write then immediately read back (two collectives)."""
+    group = ArrayGroup(dataset)
+    for a in arrays:
+        group.include(a)
+
+    def app(ctx):
+        for a in arrays:
+            chunk = None
+            if data is not None:
+                chunk = data[a.name].get(ctx.group_index)
+            ctx.bind(a, chunk)
+        yield from group.write(ctx, dataset)
+        # overwrite local chunks with zeros, then restore them from disk
+        if ctx.runtime.real_payloads:
+            for a in arrays:
+                local = ctx.local(a)
+                if local is not None and local.size:
+                    local[...] = 0
+        yield from group.read(ctx, dataset)
+
+    return app

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "2.85 MB/s" in out
+    assert "2.23 MB/s" in out
+    assert "34" in out
+
+
+def test_figures_subset(capsys):
+    assert main(["figures", "fig4", "--sizes", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "fig4" in out
+    assert "aggregate throughput" in out
+    assert "16 MB" in out
+    assert "512 MB" not in out  # size sweep was restricted
+
+
+def test_figures_unknown_name(capsys):
+    assert main(["figures", "fig99"]) == 2
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_predict_basic(capsys):
+    assert main(["predict", "--compute", "8", "--io", "2",
+                 "--size-mb", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "bottleneck" in out
+    assert "disk" in out
+
+
+def test_predict_fast_disk_bottleneck_is_network(capsys):
+    assert main(["predict", "--compute", "8", "--io", "2",
+                 "--size-mb", "16", "--fast-disk"]) == 0
+    out = capsys.readouterr().out
+    assert "network" in out
+
+
+def test_predict_verify_reports_error(capsys):
+    assert main(["predict", "--compute", "8", "--io", "2",
+                 "--size-mb", "16", "--verify"]) == 0
+    out = capsys.readouterr().out
+    assert "prediction error" in out
+
+
+def test_compare(capsys):
+    assert main(["compare", "--size-mb", "16", "--compute", "8",
+                 "--io", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Panda (natural)" in out
+    assert "two-phase" in out
+    assert "naive striping" in out

@@ -1,0 +1,135 @@
+"""Tests for the analytic cost model: structure, and agreement with the
+simulator across schemas, sizes, node counts and disk modes."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import build_array, run_panda_point
+from repro.core import PandaConfig
+from repro.core.costmodel import (
+    CostBreakdown,
+    best_disk_schema,
+    predict_arrays,
+)
+from repro.machine import MB, NAS_SP2, sp2
+from repro.workloads import mesh_for
+
+
+def simulated_and_predicted(kind, n_cn, n_io, shape, disk_schema="natural",
+                            fast_disk=False, config=None):
+    spec = sp2(fast_disk=fast_disk)
+    point = run_panda_point(kind, n_cn, n_io, shape,
+                            disk_schema=disk_schema, fast_disk=fast_disk,
+                            config=config)
+    arr = build_array(shape, n_cn, n_io, disk_schema)
+    pred = predict_arrays([arr], kind, n_cn, n_io, spec, config)
+    return point.elapsed, pred
+
+
+# --- agreement with the simulator -----------------------------------------------
+
+@pytest.mark.parametrize("kind", ["read", "write"])
+@pytest.mark.parametrize("n_io", [2, 4])
+def test_predicts_natural_chunking_within_5_percent(kind, n_io):
+    sim, pred = simulated_and_predicted(kind, 8, n_io, (128, 128, 128))
+    assert pred.elapsed == pytest.approx(sim, rel=0.05)
+
+
+@pytest.mark.parametrize("kind", ["read", "write"])
+def test_predicts_traditional_order_within_10_percent(kind):
+    sim, pred = simulated_and_predicted(kind, 16, 4, (128, 128, 128),
+                                        disk_schema="traditional")
+    assert pred.elapsed == pytest.approx(sim, rel=0.10)
+
+
+def test_predicts_fast_disk_within_10_percent():
+    sim, pred = simulated_and_predicted("write", 16, 4, (128, 128, 128),
+                                        fast_disk=True)
+    assert pred.elapsed == pytest.approx(sim, rel=0.10)
+
+
+def test_predicts_unbalanced_assignment():
+    # 8 chunks over 3 servers: the 3-chunk servers set the pace
+    sim, pred = simulated_and_predicted("write", 8, 3, (128, 128, 128))
+    assert pred.elapsed == pytest.approx(sim, rel=0.05)
+    assert max(pred.server_busy) > min(pred.server_busy) * 1.3
+
+
+def test_predicts_subchunk_sweep_ordering():
+    cfg_small = PandaConfig(sub_chunk_bytes=256 * 1024)
+    cfg_big = PandaConfig(sub_chunk_bytes=MB)
+    _, pred_small = simulated_and_predicted("write", 8, 2, (64, 128, 128),
+                                            config=cfg_small)
+    _, pred_big = simulated_and_predicted("write", 8, 2, (64, 128, 128),
+                                          config=cfg_big)
+    assert pred_small.elapsed > pred_big.elapsed
+
+
+# --- structure -----------------------------------------------------------------------
+
+def test_bottleneck_identification():
+    arr = build_array((128, 128, 128), 8, 2, "natural")
+    real = predict_arrays([arr], "write", 8, 2, NAS_SP2)
+    fast = predict_arrays([arr], "write", 8, 2, sp2(fast_disk=True))
+    assert real.bottleneck == "disk"
+    assert fast.bottleneck == "network"
+
+
+def test_breakdown_components_sum_consistently():
+    arr = build_array((128, 128, 128), 8, 2, "natural")
+    pred = predict_arrays([arr], "write", 8, 2, NAS_SP2)
+    slowest = max(pred.server_busy)
+    assert (pred.disk_time + pred.network_time + pred.copy_time
+            == pytest.approx(slowest))
+    assert pred.elapsed == pytest.approx(
+        pred.startup + slowest + pred.completion
+    )
+
+
+def test_startup_prediction_matches_measurement():
+    arr = build_array((8, 8, 8), 32, 8, "natural")
+    pred = predict_arrays([arr], "write", 32, 8, sp2(fast_disk=True))
+    sim = run_panda_point("write", 32, 8, (8, 8, 8), fast_disk=True).elapsed
+    assert pred.elapsed == pytest.approx(sim, rel=0.15)
+    assert pred.startup + pred.completion > 0.5 * sim
+
+
+def test_reads_predicted_faster_than_writes():
+    arr = build_array((128, 128, 128), 8, 4, "natural")
+    r = predict_arrays([arr], "read", 8, 4, NAS_SP2)
+    w = predict_arrays([arr], "write", 8, 4, NAS_SP2)
+    assert r.elapsed < w.elapsed
+
+
+# --- the intended use: schema selection ---------------------------------------------
+
+def test_best_disk_schema_picks_natural_on_real_disk():
+    """On the SP2 both schemas are disk-bound and natural chunking is
+    (slightly) cheaper -- the model must agree with the simulator's
+    ranking."""
+    natural = build_array((128, 128, 128), 16, 4, "natural")
+    trad = build_array((128, 128, 128), 16, 4, "traditional")
+    best, scores = best_disk_schema(
+        natural, [natural, trad], "write", 16, 4, NAS_SP2
+    )
+    assert best is natural
+    assert len(scores) == 2
+    sim_nat = run_panda_point("write", 16, 4, (128, 128, 128)).elapsed
+    sim_trad = run_panda_point("write", 16, 4, (128, 128, 128),
+                               disk_schema="traditional").elapsed
+    assert (sim_nat < sim_trad) == (best is natural)
+
+
+def test_best_disk_schema_ranking_is_meaningful_on_fast_disk():
+    """With the disk removed the reorganisation penalty decides, and it
+    is much larger -- the model must rank natural first by a clear
+    margin."""
+    fast = sp2(fast_disk=True)
+    natural = build_array((128, 128, 128), 16, 4, "natural")
+    trad = build_array((128, 128, 128), 16, 4, "traditional")
+    best, scores = best_disk_schema(
+        natural, [natural, trad], "write", 16, 4, fast
+    )
+    assert best is natural
+    times = sorted(scores.values())
+    assert times[1] > times[0] * 1.05

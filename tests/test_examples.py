@@ -1,0 +1,32 @@
+"""Smoke tests: every example script runs to completion and verifies
+itself (each example contains its own assertions)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_all_seven_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "simulation_checkpoint",
+        "schema_migration",
+        "baseline_comparison",
+        "scaling_study",
+        "postprocess_pipeline",
+        "cost_model_planning",
+    } <= names

@@ -1,0 +1,187 @@
+"""Unit tests for the buffer cache (prefetch, write-behind, eviction,
+coalescing) used by the traditional-caching baseline."""
+
+import pytest
+
+from repro.fs.cache import BufferCache
+from repro.fs.disk import DiskModel
+from repro.fs.store import MemoryStore
+from repro.machine import NAS_SP2
+from repro.sim import Simulator
+
+
+def make_cache(capacity_blocks=4, block=1024, readahead=2, spec=NAS_SP2):
+    sim = Simulator()
+    store = MemoryStore()
+    store.create("f")
+    disk = DiskModel(sim, spec)
+    cache = BufferCache(
+        sim, spec, disk, store,
+        capacity_bytes=capacity_blocks * block, block_bytes=block,
+        readahead=readahead,
+    )
+    return sim, cache, disk, store
+
+
+def run(sim, gen):
+    return sim.run_process(gen)
+
+
+def test_write_is_buffered_until_flush():
+    sim, cache, disk, store = make_cache()
+
+    def proc(sim):
+        yield from cache.write("f", 0, b"a" * 1024, 1024)
+
+    run(sim, proc(sim))
+    assert disk.requests == 0  # write-behind: nothing hit the disk yet
+    assert store.read("f", 0, 1024) == b"a" * 1024  # bytes stored
+
+    def fl(sim):
+        yield from cache.flush()
+
+    run(sim, fl(sim))
+    assert disk.requests == 1
+    assert disk.bytes_written == 1024
+
+
+def test_flush_coalesces_adjacent_dirty_blocks():
+    sim, cache, disk, store = make_cache(capacity_blocks=8)
+
+    def proc(sim):
+        for i in range(4):
+            yield from cache.write("f", i * 1024, bytes([i]) * 1024, 1024)
+        yield from cache.flush()
+
+    run(sim, proc(sim))
+    assert disk.requests == 1  # one coalesced 4 KB write
+    assert disk.bytes_written == 4096
+
+
+def test_flush_separates_disjoint_runs():
+    sim, cache, disk, store = make_cache(capacity_blocks=8)
+
+    def proc(sim):
+        yield from cache.write("f", 0, b"a" * 1024, 1024)
+        yield from cache.write("f", 3 * 1024, b"b" * 1024, 1024)
+        yield from cache.flush()
+
+    run(sim, proc(sim))
+    assert disk.requests == 2
+
+
+def test_eviction_on_capacity_pressure():
+    sim, cache, disk, store = make_cache(capacity_blocks=2)
+
+    def proc(sim):
+        for i in range(4):  # 4 blocks through a 2-block cache
+            yield from cache.write("f", i * 1024, bytes([i]) * 1024, 1024)
+
+    run(sim, proc(sim))
+    assert disk.requests >= 1  # evictions flushed early
+    assert cache.evictions >= 2
+
+    def fl(sim):
+        yield from cache.flush()
+
+    run(sim, fl(sim))
+    assert store.read_all("f") == b"".join(bytes([i]) * 1024 for i in range(4))
+
+
+def test_read_miss_then_hit():
+    sim, cache, disk, store = make_cache()
+    store.write("f", 0, b"x" * 4096, 4096)
+
+    def proc(sim):
+        first = yield from cache.read("f", 0, 1024)
+        second = yield from cache.read("f", 0, 1024)
+        return first, second
+
+    first, second = run(sim, proc(sim))
+    assert first == second == b"x" * 1024
+    assert cache.misses == 1
+    assert cache.hits == 1
+    assert disk.requests == 1
+
+
+def test_sequential_read_prefetches():
+    sim, cache, disk, store = make_cache(capacity_blocks=8, readahead=3)
+    store.write("f", 0, b"y" * 8192, 8192)
+
+    def proc(sim):
+        # block 0: cold miss, no stream detected
+        yield from cache.read("f", 0, 1024)
+        # block 1: sequential miss -> prefetch blocks 2..4 too
+        yield from cache.read("f", 1024, 1024)
+        # blocks 2..4: hits
+        yield from cache.read("f", 2048, 1024)
+        yield from cache.read("f", 3072, 1024)
+        yield from cache.read("f", 4096, 1024)
+
+    run(sim, proc(sim))
+    assert cache.misses == 2
+    assert cache.hits == 3
+    assert disk.requests == 2
+
+
+def test_prefetch_stops_at_eof():
+    sim, cache, disk, store = make_cache(readahead=8)
+    store.write("f", 0, b"z" * 2048, 2048)  # 2 blocks only
+
+    def proc(sim):
+        yield from cache.read("f", 0, 1024)
+        yield from cache.read("f", 1024, 1024)
+
+    run(sim, proc(sim))  # must not read past EOF
+    assert disk.bytes_read <= 2048
+
+
+def test_random_reads_do_not_prefetch():
+    sim, cache, disk, store = make_cache(capacity_blocks=8, readahead=4)
+    store.write("f", 0, b"r" * 8192, 8192)
+
+    def proc(sim):
+        yield from cache.read("f", 4096, 1024)
+        yield from cache.read("f", 0, 1024)
+        yield from cache.read("f", 2048, 1024)
+
+    run(sim, proc(sim))
+    assert cache.misses == 3
+    assert disk.requests == 3
+
+
+def test_dirty_eviction_preserves_unflushed_neighbour_order():
+    """Backward extension: a flush triggered in the middle of a dirty
+    run writes the whole run once, from its lowest offset."""
+    sim, cache, disk, store = make_cache(capacity_blocks=4)
+
+    def proc(sim):
+        # fill blocks 1,2,3,0 in that order; LRU is block 1 (middle of
+        # the 0..3 run) when pressure comes
+        for i in (1, 2, 3, 0):
+            yield from cache.write("f", i * 1024, bytes([i]) * 1024, 1024)
+        yield from cache.write("f", 5 * 1024, b"e" * 1024, 1024)
+
+    run(sim, proc(sim))
+    assert disk.requests == 1
+    assert disk.bytes_written == 4096  # the whole coalesced 0..3 run
+
+
+def test_cache_validation():
+    sim = Simulator()
+    store = MemoryStore()
+    disk = DiskModel(sim, NAS_SP2)
+    with pytest.raises(ValueError):
+        BufferCache(sim, NAS_SP2, disk, store, capacity_bytes=10,
+                    block_bytes=1024)
+
+
+def test_partial_tail_block_flushes_only_filled_bytes():
+    sim, cache, disk, store = make_cache()
+
+    def proc(sim):
+        yield from cache.write("f", 0, b"t" * 100, 100)
+        yield from cache.flush()
+
+    run(sim, proc(sim))
+    assert disk.bytes_written == 100

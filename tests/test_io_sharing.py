@@ -1,0 +1,158 @@
+"""Tests for I/O-node sharing between applications (the paper's
+future-work scenario, implemented via PandaRuntime.run_partitioned)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Array, ArrayGroup, ArrayLayout, BLOCK, PandaRuntime
+from repro.core.reconstruct import reconstruct_array
+from repro.workloads import distribute, make_global_array
+
+
+def make_app(name, shape, mesh_dims, data):
+    mem = ArrayLayout("mem", mesh_dims)
+    arr = Array(name, shape, np.float64, mem, [BLOCK] * len(shape))
+    group = ArrayGroup(name)
+    group.include(arr)
+
+    def app(ctx):
+        ctx.bind(arr, data[ctx.group_index].copy())
+        yield from group.write(ctx, name)
+        local = ctx.local(arr)
+        if local.size:
+            local[...] = 0
+        yield from group.read(ctx, name)
+
+    return app, arr
+
+
+def test_two_apps_share_io_nodes_bit_exact():
+    ga = make_global_array((8, 8), seed=1)
+    gb = make_global_array((8, 8), seed=2)
+    mem_schema = Array("t", (8, 8), np.float64,
+                       ArrayLayout("m", (2, 2)), [BLOCK, BLOCK]).memory_schema
+    da = distribute(ga, mem_schema)
+    db = distribute(gb, mem_schema)
+    app_a, arr_a = make_app("appA", (8, 8), (2, 2), da)
+    app_b, arr_b = make_app("appB", (8, 8), (2, 2), db)
+
+    rt = PandaRuntime(n_compute=8, n_io=2)
+    result = rt.run_partitioned([
+        (app_a, (0, 1, 2, 3)),
+        (app_b, (4, 5, 6, 7)),
+    ])
+    # both round trips intact despite interleaving at the servers
+    for i, rank in enumerate((0, 1, 2, 3)):
+        np.testing.assert_array_equal(
+            rt._client_state[rank]["data"]["appA"], da[i]
+        )
+    for i, rank in enumerate((4, 5, 6, 7)):
+        np.testing.assert_array_equal(
+            rt._client_state[rank]["data"]["appB"], db[i]
+        )
+    np.testing.assert_array_equal(reconstruct_array(rt, "appA", "appA"), ga)
+    np.testing.assert_array_equal(reconstruct_array(rt, "appB", "appB"), gb)
+    # four ops logged: two per application
+    assert len(result.ops) == 4
+    assert {o.dataset for o in result.ops} == {"appA", "appB"}
+
+
+def test_groups_may_leave_ranks_idle():
+    g = make_global_array((8,))
+    mem_schema = Array("t", (8,), np.float64,
+                       ArrayLayout("m", (2,)), [BLOCK]).memory_schema
+    data = distribute(g, mem_schema)
+    app, arr = make_app("solo", (8,), (2,), data)
+    rt = PandaRuntime(n_compute=6, n_io=1)
+    # only ranks 3 and 5 participate; 0,1,2,4 run nothing
+    rt.run_partitioned([(app, (3, 5))])
+    np.testing.assert_array_equal(rt._client_state[3]["data"]["solo"], data[0])
+    np.testing.assert_array_equal(rt._client_state[5]["data"]["solo"], data[1])
+
+
+def test_group_rank_order_defines_mesh_positions():
+    """ranks=(5, 3) puts rank 5 at mesh position 0."""
+    g = make_global_array((8,))
+    mem_schema = Array("t", (8,), np.float64,
+                       ArrayLayout("m", (2,)), [BLOCK]).memory_schema
+    data = distribute(g, mem_schema)
+    app, arr = make_app("swap", (8,), (2,), data)
+    rt = PandaRuntime(n_compute=6, n_io=1)
+    rt.run_partitioned([(app, (5, 3))])
+    np.testing.assert_array_equal(rt._client_state[5]["data"]["swap"], data[0])
+    np.testing.assert_array_equal(rt._client_state[3]["data"]["swap"], data[1])
+
+
+def test_overlapping_assignments_rejected():
+    rt = PandaRuntime(n_compute=4, n_io=1)
+    app = lambda ctx: iter(())
+    with pytest.raises(ValueError, match="two applications"):
+        rt.run_partitioned([(app, (0, 1)), (app, (1, 2))])
+
+
+def test_out_of_range_rank_rejected():
+    rt = PandaRuntime(n_compute=4, n_io=1)
+    app = lambda ctx: iter(())
+    with pytest.raises(ValueError, match="outside"):
+        rt.run_partitioned([(app, (0, 7))])
+
+
+def test_empty_assignment_rejected():
+    rt = PandaRuntime(n_compute=4, n_io=1)
+    with pytest.raises(ValueError, match="no application"):
+        rt.run_partitioned([])
+
+
+def test_sharing_serialises_collectives_fifo():
+    """The question the paper poses: what does sharing cost?  Panda
+    servers are single-threaded op loops, so two concurrent collectives
+    serialise: the first-arriving application runs at full speed and
+    the second queues behind it (head-of-line blocking) -- combined
+    completion is ~2x the solo time."""
+    def timed(assignments, n_compute):
+        rt = PandaRuntime(n_compute=n_compute, n_io=2, real_payloads=False)
+        res = rt.run_partitioned(assignments)
+        return {o.dataset: o.elapsed for o in res.ops}
+
+    def writer_app(name):
+        mem = ArrayLayout("mem", (2, 2))
+        arr = Array(name, (64, 64, 64), np.float64, mem, [BLOCK, BLOCK, "*"])
+        group = ArrayGroup(name)
+        group.include(arr)
+
+        def app(ctx):
+            ctx.bind(arr)
+            yield from group.write(ctx, name)
+
+        return app
+
+    alone = timed([(writer_app("a"), (0, 1, 2, 3))], 8)["a"]
+    shared = timed([
+        (writer_app("a"), (0, 1, 2, 3)),
+        (writer_app("b"), (4, 5, 6, 7)),
+    ], 8)
+    # the op that wins the race (app a's master spawns first) is served
+    # at full speed; the other queues behind the whole collective
+    first, second = sorted(shared.values())
+    assert first == pytest.approx(alone, rel=0.01)
+    assert second > 1.5 * alone
+    assert second == pytest.approx(2 * alone, rel=0.25)
+
+
+def test_dedicated_io_nodes_do_not_interfere():
+    """The paper's current answer to sharing: give each application its
+    own dedicated I/O nodes (separate runtimes)."""
+    def solo():
+        rt = PandaRuntime(n_compute=4, n_io=2, real_payloads=False)
+        mem = ArrayLayout("mem", (2, 2))
+        arr = Array("x", (64, 64, 64), np.float64, mem, [BLOCK, BLOCK, "*"])
+        group = ArrayGroup("x")
+        group.include(arr)
+
+        def app(ctx):
+            ctx.bind(arr)
+            yield from group.write(ctx, "x")
+
+        return rt.run(app).ops[0].elapsed
+
+    assert solo() == pytest.approx(solo(), rel=1e-12)

@@ -1,0 +1,152 @@
+"""Tests for the MPI-style collectives built on the substrate."""
+
+import pytest
+
+from repro.machine import NAS_SP2
+from repro.mpi import Network
+from repro.mpi.collectives import (
+    allgather,
+    alltoall,
+    barrier,
+    bcast,
+    gather,
+    scatter,
+)
+from repro.sim import Simulator
+
+
+def run_spmd(n, body):
+    """Run body(rank, comm) as a process on every rank; return values."""
+    sim = Simulator()
+    net = Network(sim, NAS_SP2, n)
+    procs = [sim.spawn(body(r, net.comm(r)), name=f"r{r}") for r in range(n)]
+    sim.run()
+    return [p.value for p in procs]
+
+
+def test_barrier_synchronises():
+    n = 4
+    ranks = range(n)
+
+    def body(rank, comm):
+        # rank r works r*10ms before the barrier
+        yield from comm.compute(rank * 0.01)
+        yield from barrier(comm, ranks)
+        return comm.sim.now
+
+    times = run_spmd(n, body)
+    # everyone leaves the barrier after the slowest participant arrived
+    assert min(times) >= 0.03
+
+
+def test_bcast_delivers_to_all():
+    ranks = range(4)
+
+    def body(rank, comm):
+        value = {"data": 42} if rank == 0 else None
+        got = yield from bcast(comm, ranks, value)
+        return got
+
+    assert run_spmd(4, body) == [{"data": 42}] * 4
+
+
+def test_bcast_from_non_default_root():
+    ranks = range(3)
+
+    def body(rank, comm):
+        value = "hello" if rank == 2 else None
+        got = yield from bcast(comm, ranks, value, root=2)
+        return got
+
+    assert run_spmd(3, body) == ["hello"] * 3
+
+
+def test_scatter_distributes_elementwise():
+    ranks = range(4)
+
+    def body(rank, comm):
+        values = [r * r for r in range(4)] if rank == 0 else None
+        got = yield from scatter(comm, ranks, values)
+        return got
+
+    assert run_spmd(4, body) == [0, 1, 4, 9]
+
+
+def test_scatter_requires_value_per_rank():
+    ranks = range(2)
+
+    def body(rank, comm):
+        values = [1] if rank == 0 else None  # too short
+        try:
+            yield from scatter(comm, ranks, values)
+        except ValueError:
+            return "caught"
+        return "no error"
+
+    # rank 1 deadlocks once rank 0 errors; run only the root path
+    sim = Simulator()
+    net = Network(sim, NAS_SP2, 2)
+    p = sim.spawn(body(0, net.comm(0)))
+    sim.run()
+    assert p.value == "caught"
+
+
+def test_gather_collects_in_rank_order():
+    ranks = range(4)
+
+    def body(rank, comm):
+        got = yield from gather(comm, ranks, value=rank * 10)
+        return got
+
+    results = run_spmd(4, body)
+    assert results[0] == [0, 10, 20, 30]
+    assert results[1:] == [None, None, None]
+
+
+def test_allgather_everyone_sees_everything():
+    ranks = range(3)
+
+    def body(rank, comm):
+        got = yield from allgather(comm, ranks, value=chr(ord("a") + rank))
+        return got
+
+    assert run_spmd(3, body) == [["a", "b", "c"]] * 3
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5])
+def test_alltoall_personalised_exchange(n):
+    ranks = list(range(n))
+
+    def body(rank, comm):
+        values = {dst: (rank, dst) for dst in ranks}
+        got = yield from alltoall(comm, ranks, values)
+        return got
+
+    results = run_spmd(n, body)
+    for rank, got in enumerate(results):
+        assert set(got) == set(ranks)
+        for src, payload in got.items():
+            assert payload == (src, rank)
+
+
+def test_alltoall_charges_bandwidth():
+    """With per-message nbytes the exchange takes real simulated time."""
+    n = 4
+    ranks = list(range(n))
+
+    def body(rank, comm):
+        values = {dst: b"x" for dst in ranks}
+        yield from alltoall(comm, ranks, values, nbytes_per=1 << 20)
+        return comm.sim.now
+
+    times = run_spmd(n, body)
+    # each rank sends 3 MB through a 34 MB/s link: >= ~88 ms
+    assert min(times) > 0.085
+
+
+def test_root_validation():
+    sim = Simulator()
+    net = Network(sim, NAS_SP2, 2)
+    gen = bcast(net.comm(0), range(2), "x", root=5)
+    with pytest.raises(ValueError):
+        next(gen)

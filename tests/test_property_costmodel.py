@@ -1,0 +1,60 @@
+"""Property-based validation of the cost model against the simulator:
+random shapes, schemas, node counts and disk modes."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import Array, ArrayLayout, PandaConfig, PandaRuntime
+from repro.core.costmodel import predict_arrays
+from repro.machine import sp2
+from repro.schema import BLOCK, NONE
+from repro.workloads import write_array_app, read_array_app
+
+
+@st.composite
+def model_cases(draw):
+    # shapes big enough that per-op noise (startup) doesn't dominate,
+    # small enough to simulate quickly
+    shape = (
+        draw(st.sampled_from([16, 32, 64])),
+        draw(st.sampled_from([32, 64])),
+        draw(st.sampled_from([32, 64])),
+    )
+    mem_mesh = draw(st.sampled_from([(2, 2), (4, 2), (2, 2, 2), (4,)]))
+    n_block = len(mem_mesh)
+    mem_dists = [BLOCK] * n_block + [NONE] * (3 - n_block)
+    traditional = draw(st.booleans())
+    n_io = draw(st.sampled_from([1, 2, 3, 4]))
+    fast = draw(st.booleans())
+    kind = draw(st.sampled_from(["read", "write"]))
+    sub = draw(st.sampled_from([64 * 1024, 1 << 20]))
+    return shape, mem_mesh, mem_dists, traditional, n_io, fast, kind, sub
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(model_cases())
+def test_prediction_tracks_simulation(case):
+    shape, mem_mesh, mem_dists, traditional, n_io, fast, kind, sub = case
+    mem = ArrayLayout("m", mem_mesh)
+    if traditional:
+        disk = ArrayLayout("d", (n_io,))
+        arr = Array("a", shape, np.float64, mem, mem_dists,
+                    disk, [BLOCK, NONE, NONE])
+    else:
+        arr = Array("a", shape, np.float64, mem, mem_dists)
+    spec = sp2(fast_disk=fast)
+    config = PandaConfig(sub_chunk_bytes=sub)
+    n_cn = mem.n_nodes
+
+    rt = PandaRuntime(n_compute=n_cn, n_io=n_io, spec=spec,
+                      real_payloads=False, config=config)
+    rt.run(write_array_app([arr], "x"))
+    if kind == "write":
+        sim = rt.run(write_array_app([arr], "x")).ops[0].elapsed
+    else:
+        sim = rt.run(read_array_app([arr], "x")).ops[0].elapsed
+
+    pred = predict_arrays([arr], kind, n_cn, n_io, spec, config).elapsed
+    err = abs(pred - sim) / sim
+    assert err < 0.25, (case, sim, pred, err)

@@ -1,0 +1,327 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(2.5)
+        return sim.now
+
+    assert sim.run_process(proc(sim)) == 2.5
+    assert sim.now == 2.5
+
+
+def test_timeout_zero_is_allowed():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(0.0)
+        return "done"
+
+    assert sim.run_process(proc(sim)) == "done"
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_process_return_value_via_join():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        return 7
+
+    def parent(sim):
+        value = yield sim.spawn(child(sim))
+        return value * 6
+
+    assert sim.run_process(parent(sim)) == 42
+
+
+def test_yielding_bare_generator_spawns_and_joins():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(3.0)
+        return "inner"
+
+    def parent(sim):
+        value = yield child(sim)
+        return (value, sim.now)
+
+    assert sim.run_process(parent(sim)) == ("inner", 3.0)
+
+
+def test_event_succeed_wakes_waiter_with_value():
+    sim = Simulator()
+    ev = sim.event()
+
+    def waiter(sim):
+        value = yield ev
+        return value
+
+    def signaller(sim):
+        yield sim.timeout(5.0)
+        ev.succeed("hello")
+
+    p = sim.spawn(waiter(sim))
+    sim.spawn(signaller(sim))
+    sim.run()
+    assert p.value == "hello"
+    assert sim.now == 5.0
+
+
+def test_waiting_on_already_triggered_event():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(99)
+
+    def waiter(sim):
+        value = yield ev
+        return value
+
+    assert sim.run_process(waiter(sim)) == 99
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_propagates_into_waiter():
+    sim = Simulator()
+    ev = sim.event()
+
+    def waiter(sim):
+        try:
+            yield ev
+        except RuntimeError as exc:
+            return f"caught:{exc}"
+
+    def failer(sim):
+        yield sim.timeout(1.0)
+        ev.fail(RuntimeError("bad"))
+
+    p = sim.spawn(waiter(sim))
+    sim.spawn(failer(sim))
+    sim.run()
+    assert p.value == "caught:bad"
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")
+
+
+def test_all_of_collects_values_in_order():
+    sim = Simulator()
+
+    def proc(sim):
+        t1 = sim.timeout(3.0, "slow")
+        t2 = sim.timeout(1.0, "fast")
+        values = yield AllOf(sim, [t1, t2])
+        return (values, sim.now)
+
+    assert sim.run_process(proc(sim)) == (["slow", "fast"], 3.0)
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+
+    def proc(sim):
+        values = yield AllOf(sim, [])
+        return values
+
+    assert sim.run_process(proc(sim)) == []
+
+
+def test_any_of_returns_first_index_and_value():
+    sim = Simulator()
+
+    def proc(sim):
+        t1 = sim.timeout(3.0, "slow")
+        t2 = sim.timeout(1.0, "fast")
+        result = yield AnyOf(sim, [t1, t2])
+        return (result, sim.now)
+
+    assert sim.run_process(proc(sim)) == ((1, "fast"), 1.0)
+
+
+def test_any_of_requires_events():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        AnyOf(sim, [])
+
+
+def test_unjoined_process_failure_aborts_run():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("boom")
+
+    sim.spawn(bad(sim))
+    with pytest.raises(SimulationError, match="unhandled failure"):
+        sim.run()
+
+
+def test_joined_process_failure_is_catchable():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("boom")
+
+    def parent(sim):
+        try:
+            yield sim.spawn(bad(sim))
+        except ValueError:
+            return "handled"
+
+    assert sim.run_process(parent(sim)) == "handled"
+
+
+def test_deadlock_detection():
+    sim = Simulator()
+
+    def stuck(sim):
+        yield sim.event()
+
+    sim.spawn(stuck(sim))
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run()
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(10.0)
+
+    sim.spawn(proc(sim))
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+    sim.run()  # finish
+    assert sim.now == 10.0
+
+
+def test_interrupt_raises_inside_process():
+    sim = Simulator()
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+            return "slept"
+        except Interrupt as intr:
+            return ("interrupted", intr.cause, sim.now)
+
+    def interrupter(sim, target):
+        yield sim.timeout(2.0)
+        target.interrupt("wake up")
+
+    p = sim.spawn(sleeper(sim))
+    sim.spawn(interrupter(sim, p))
+    sim.run()
+    assert p.value == ("interrupted", "wake up", 2.0)
+
+
+def test_interrupt_finished_process_is_noop():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1.0)
+        return "done"
+
+    p = sim.spawn(quick(sim))
+    sim.run()
+    p.interrupt("late")
+    sim.run()
+    assert p.value == "done"
+
+
+def test_same_time_events_run_in_fifo_order():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, label):
+        yield sim.timeout(1.0)
+        order.append(label)
+
+    for i in range(5):
+        sim.spawn(proc(sim, i))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_process_is_alive_until_completion():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+
+    p = sim.spawn(proc(sim))
+    assert p.is_alive
+    sim.run()
+    assert not p.is_alive
+
+
+def test_yielding_non_event_raises_typeerror():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 42
+
+    def parent(sim):
+        try:
+            yield sim.spawn(bad(sim))
+        except TypeError as exc:
+            return "typed" in str(exc) or "expected an Event" in str(exc)
+
+    assert sim.run_process(parent(sim)) is True
+
+
+def test_schedule_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_nested_process_chain_returns_through_layers():
+    sim = Simulator()
+
+    def level3(sim):
+        yield sim.timeout(1.0)
+        return 3
+
+    def level2(sim):
+        v = yield level3(sim)
+        return v + 2
+
+    def level1(sim):
+        v = yield level2(sim)
+        return v + 1
+
+    assert sim.run_process(level1(sim)) == 6

@@ -1,0 +1,200 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.sim import Resource, Simulator, Store
+
+
+def make_worker(sim, res, log, label, hold):
+    def worker(sim=sim):
+        yield res.acquire()
+        try:
+            yield sim.timeout(hold)
+            log.append((label, sim.now))
+        finally:
+            res.release()
+
+    return worker()
+
+
+def test_capacity_one_serialises_fifo():
+    sim = Simulator()
+    res = Resource(sim, 1)
+    log = []
+    for i in range(4):
+        sim.spawn(make_worker(sim, res, log, i, 1.0))
+    sim.run()
+    assert log == [(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)]
+
+
+def test_capacity_two_overlaps():
+    sim = Simulator()
+    res = Resource(sim, 2)
+    log = []
+    for i in range(4):
+        sim.spawn(make_worker(sim, res, log, i, 1.0))
+    sim.run()
+    assert log == [(0, 1.0), (1, 1.0), (2, 2.0), (3, 2.0)]
+
+
+def test_release_of_idle_resource_raises():
+    sim = Simulator()
+    res = Resource(sim, 1)
+    with pytest.raises(RuntimeError):
+        res.release()
+
+
+def test_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, 0)
+
+
+def test_serve_helper():
+    sim = Simulator()
+    res = Resource(sim, 1)
+
+    def proc(sim):
+        yield from res.serve(2.0)
+        return sim.now
+
+    assert sim.run_process(proc(sim)) == 2.0
+    assert res.in_use == 0
+
+
+def test_busy_time_accounting():
+    sim = Simulator()
+    res = Resource(sim, 1)
+
+    def proc(sim):
+        yield from res.serve(3.0)
+
+    sim.spawn(proc(sim))
+    sim.spawn(proc(sim))
+    sim.run()
+    assert res.busy_time() == pytest.approx(6.0)
+
+
+def test_queue_length_visible_while_contended():
+    sim = Simulator()
+    res = Resource(sim, 1)
+    observed = []
+
+    def holder(sim):
+        yield res.acquire()
+        yield sim.timeout(5.0)
+        res.release()
+
+    def waiter(sim):
+        yield res.acquire()
+        res.release()
+
+    def observer(sim):
+        yield sim.timeout(1.0)
+        observed.append(res.queue_length)
+
+    sim.spawn(holder(sim))
+    sim.spawn(waiter(sim))
+    sim.spawn(observer(sim))
+    sim.run()
+    assert observed == [1]
+
+
+def test_store_fifo_without_predicate():
+    sim = Simulator()
+    st = Store(sim)
+    st.put("a")
+    st.put("b")
+
+    def proc(sim):
+        first = yield st.get()
+        second = yield st.get()
+        return (first, second)
+
+    assert sim.run_process(proc(sim)) == ("a", "b")
+
+
+def test_store_predicate_takes_oldest_match():
+    sim = Simulator()
+    st = Store(sim)
+    st.put(("x", 1))
+    st.put(("y", 2))
+    st.put(("x", 3))
+
+    def proc(sim):
+        item = yield st.get(lambda m: m[0] == "x")
+        item2 = yield st.get(lambda m: m[0] == "x")
+        return (item, item2)
+
+    assert sim.run_process(proc(sim)) == (("x", 1), ("x", 3))
+    assert st.peek_all() == [("y", 2)]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    st = Store(sim)
+
+    def consumer(sim):
+        item = yield st.get()
+        return (item, sim.now)
+
+    def producer(sim):
+        yield sim.timeout(2.0)
+        st.put("late")
+
+    p = sim.spawn(consumer(sim))
+    sim.spawn(producer(sim))
+    sim.run()
+    assert p.value == ("late", 2.0)
+
+
+def test_store_multiple_getters_fifo():
+    sim = Simulator()
+    st = Store(sim)
+    results = []
+
+    def consumer(sim, label):
+        item = yield st.get()
+        results.append((label, item))
+
+    sim.spawn(consumer(sim, "first"))
+    sim.spawn(consumer(sim, "second"))
+
+    def producer(sim):
+        yield sim.timeout(1.0)
+        st.put("a")
+        st.put("b")
+
+    sim.spawn(producer(sim))
+    sim.run()
+    assert results == [("first", "a"), ("second", "b")]
+
+
+def test_store_predicate_getter_skipped_when_no_match():
+    sim = Simulator()
+    st = Store(sim)
+    results = []
+
+    def picky(sim):
+        item = yield st.get(lambda m: m == "special")
+        results.append(("picky", item))
+
+    def anyone(sim):
+        item = yield st.get()
+        results.append(("any", item))
+
+    sim.spawn(picky(sim))
+    sim.spawn(anyone(sim))
+    st.put("plain")
+    st.put("special")
+    sim.run()
+    assert ("picky", "special") in results
+    assert ("any", "plain") in results
+
+
+def test_store_len():
+    sim = Simulator()
+    st = Store(sim)
+    assert len(st) == 0
+    st.put(1)
+    assert len(st) == 1

@@ -1,0 +1,79 @@
+"""Tests for workload generation (distributed arrays, meshes, apps)."""
+
+import numpy as np
+import pytest
+
+from repro.schema import BLOCK, DataSchema, NONE
+from repro.workloads import (
+    distribute,
+    gather_global,
+    make_global_array,
+    mesh_for,
+)
+
+
+def test_make_global_array_unique_values():
+    g = make_global_array((4, 5))
+    assert g.shape == (4, 5)
+    assert len(np.unique(g)) == 20
+
+
+def test_make_global_array_seeded_reproducible():
+    a = make_global_array((8, 8), seed=7)
+    b = make_global_array((8, 8), seed=7)
+    np.testing.assert_array_equal(a, b)
+    c = make_global_array((8, 8), seed=8)
+    assert not np.array_equal(a, c)
+
+
+def test_make_global_array_integer_dtype():
+    g = make_global_array((4, 4), dtype=np.int32, seed=1)
+    assert g.dtype == np.int32
+
+
+def test_distribute_gather_roundtrip():
+    schema = DataSchema.build((8, 6), (2, 3), [BLOCK, BLOCK])
+    g = make_global_array((8, 6))
+    chunks = distribute(g, schema)
+    assert len(chunks) == 6
+    back = gather_global(chunks, schema)
+    np.testing.assert_array_equal(back, g)
+
+
+def test_distribute_chunks_are_contiguous_copies():
+    schema = DataSchema.build((8, 8), (2, 2), [BLOCK, BLOCK])
+    g = make_global_array((8, 8))
+    chunks = distribute(g, schema)
+    for c in chunks.values():
+        assert c.flags["C_CONTIGUOUS"]
+    # mutating a chunk must not touch the global array
+    chunks[0][0, 0] = -1
+    assert g[0, 0] != -1
+
+
+def test_distribute_includes_empty_chunks():
+    schema = DataSchema.build((2, 4), (4,), [BLOCK, NONE])
+    chunks = distribute(make_global_array((2, 4)), schema)
+    assert len(chunks) == 4
+    assert chunks[2].size == 0
+    assert chunks[3].size == 0
+
+
+def test_distribute_shape_mismatch():
+    schema = DataSchema.build((8, 8), (2, 2), [BLOCK, BLOCK])
+    with pytest.raises(ValueError):
+        distribute(make_global_array((4, 4)), schema)
+
+
+def test_mesh_for_paper_configurations():
+    assert mesh_for(8) == (2, 2, 2)
+    assert mesh_for(16) == (4, 2, 2)
+    assert mesh_for(24) == (6, 2, 2)
+    assert mesh_for(32) == (4, 4, 2)
+
+
+def test_mesh_for_arbitrary_sizes_multiply_out():
+    for n in (1, 2, 3, 5, 6, 12, 20, 48, 100):
+        dims = mesh_for(n)
+        assert len(dims) == 3
+        assert np.prod(dims) == n
