@@ -54,6 +54,12 @@ def main():
     print(f"collective read:  {read_op.elapsed:.3f} s simulated "
           f"({read_op.throughput / MB:.2f} MB/s aggregate)")
     print("round trip verified bit-for-bit on every rank")
+    c = result.counters
+    print(f"host-side work: {c['events_scheduled']} events scheduled "
+          f"({c['events_fastpath']} fast-path), "
+          f"{c['bytes_copied'] / MB:.2f} MB copied, "
+          f"plan cache {c['plan_cache_hits']} hit / "
+          f"{c['plan_cache_misses']} miss")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,61 @@
+"""Lightweight profiling hooks for the wall-clock hot path.
+
+Two facilities:
+
+- the global performance counters (re-exported from
+  :mod:`repro.counters`): events scheduled/fast-pathed, payload bytes
+  physically copied, plan- and geometry-cache hit rates.  These are
+  host-side observability -- they never affect simulated time;
+- :func:`profile`, a ``cProfile`` context manager for ad-hoc "where did
+  the wall-clock go" investigations::
+
+      from repro.bench import profiling
+
+      with profiling.profile(top=15):
+          run_figure(EXPERIMENTS["fig4"])
+      print(profiling.snapshot())
+
+``benchmarks/bench_wallclock.py`` uses both to publish
+``BENCH_wallclock.json``.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.counters import COUNTERS, PerfCounters
+
+__all__ = ["COUNTERS", "PerfCounters", "reset", "snapshot", "profile"]
+
+
+def reset() -> None:
+    """Zero all global performance counters."""
+    COUNTERS.reset()
+
+
+def snapshot() -> dict:
+    """Current counter values as a plain dict."""
+    return COUNTERS.snapshot()
+
+
+@contextmanager
+def profile(top: int = 20, sort: str = "cumulative",
+            stream=None) -> Iterator[cProfile.Profile]:
+    """Run the body under cProfile and print the ``top`` entries.
+
+    Yields the :class:`cProfile.Profile` so callers can post-process it
+    (``dump_stats`` etc.) instead of, or in addition to, the printout.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        buf = io.StringIO()
+        pstats.Stats(profiler, stream=buf).sort_stats(sort).print_stats(top)
+        print(buf.getvalue(), file=stream)

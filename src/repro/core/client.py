@@ -31,7 +31,7 @@ import numpy as np
 from repro.core.protocol import ArraySpec, CollectiveOp, FetchRequest, PieceData, Tags
 from repro.mpi.comm import Communicator
 from repro.mpi.datatypes import DataBlock
-from repro.schema.regions import Region
+from repro.schema.regions import Region, runs_within
 from repro.schema.reorganize import extract_region, inject_region
 
 __all__ = ["PandaClient"]
@@ -203,7 +203,7 @@ class PandaClient:
             spec = op.arrays[req.array_index]
             chunk_region = self._my_chunk_region(spec)
             nbytes = req.region.size * spec.itemsize
-            runs, _ = req.region.contiguous_runs_within(chunk_region)
+            runs, _ = runs_within(req.region, chunk_region)
             if runs > 1:
                 # strided gather into a send buffer
                 yield from self.comm.copy(nbytes, runs)
@@ -233,7 +233,7 @@ class PandaClient:
             yield from self.comm.handle()
             spec = op.arrays[piece.array_index]
             chunk_region = self._my_chunk_region(spec)
-            runs, _ = piece.region.contiguous_runs_within(chunk_region)
+            runs, _ = runs_within(piece.region, chunk_region)
             if runs > 1:
                 # strided scatter out of the receive buffer
                 yield from self.comm.copy(piece.block.nbytes, runs)

@@ -34,6 +34,7 @@ from typing import Dict, List, Tuple
 
 from repro.core.config import PandaConfig
 from repro.core.protocol import CollectiveOp
+from repro.counters import COUNTERS
 from repro.schema.regions import Region
 from repro.schema.split import split_row_major
 
@@ -95,18 +96,24 @@ class ServerPlan:
         return seen
 
 
-def build_server_plan(
-    op: CollectiveOp,
-    server_index: int,
-    n_servers: int,
-    config: PandaConfig,
-) -> ServerPlan:
-    """Form the deterministic plan for ``server_index`` of ``n_servers``."""
-    if n_servers < 1:
-        raise ValueError("need at least one server")
-    if not 0 <= server_index < n_servers:
-        raise ValueError(f"server index {server_index} out of range")
-    plan = ServerPlan(op=op, server_index=server_index, n_servers=n_servers)
+#: memo of plan items keyed by the plan's true inputs.  An op's id,
+#: dataset name and kind never influence the item list -- only the
+#: array specs and the server/striping geometry do -- so a timestep
+#: loop (fresh dataset per step, same arrays) computes its plan once.
+_PLAN_CACHE: Dict[tuple, Tuple[SubchunkPlan, ...]] = {}
+_PLAN_CACHE_MAX = 1024
+
+
+def _plan_items(
+    op: CollectiveOp, server_index: int, n_servers: int, config: PandaConfig
+) -> Tuple[SubchunkPlan, ...]:
+    key = (op.arrays, server_index, n_servers, config.sub_chunk_bytes)
+    hit = _PLAN_CACHE.get(key)
+    if hit is not None:
+        COUNTERS.plan_cache_hits += 1
+        return hit
+    COUNTERS.plan_cache_misses += 1
+    items: List[SubchunkPlan] = []
     offset = 0
     seq = 0
     for ai, spec in enumerate(op.arrays):
@@ -117,7 +124,7 @@ def build_server_plan(
                 continue
             for sub in split_row_major(chunk.region, max_elems):
                 nbytes = sub.size * spec.itemsize
-                plan.items.append(
+                items.append(
                     SubchunkPlan(
                         array_index=ai,
                         chunk_index=chunk.index,
@@ -129,7 +136,30 @@ def build_server_plan(
                 )
                 offset += nbytes
                 seq += 1
-    return plan
+    frozen = tuple(items)
+    if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
+        _PLAN_CACHE.clear()
+    _PLAN_CACHE[key] = frozen
+    return frozen
+
+
+def build_server_plan(
+    op: CollectiveOp,
+    server_index: int,
+    n_servers: int,
+    config: PandaConfig,
+) -> ServerPlan:
+    """Form the deterministic plan for ``server_index`` of ``n_servers``."""
+    if n_servers < 1:
+        raise ValueError("need at least one server")
+    if not 0 <= server_index < n_servers:
+        raise ValueError(f"server index {server_index} out of range")
+    return ServerPlan(
+        op=op,
+        server_index=server_index,
+        n_servers=n_servers,
+        items=list(_plan_items(op, server_index, n_servers, config)),
+    )
 
 
 def locate_chunk(

@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.core.client import PandaClient
 from repro.core.config import PandaConfig
+from repro.counters import COUNTERS
 from repro.core.protocol import CollectiveOp, Tags
 from repro.fs.filesystem import FileSystem
 from repro.machine import NAS_SP2, MachineSpec
@@ -162,6 +163,11 @@ class RunResult:
     elapsed: float
     trace: Optional[Trace]
     runtime: "PandaRuntime"
+    #: this run's slice of the process-wide perf counters (see
+    #: :mod:`repro.bench.profiling`): events scheduled, bytes copied,
+    #: plan/geometry cache hits.  Wall-clock diagnostics only -- no
+    #: simulated time depends on them.
+    counters: Dict[str, int] = field(default_factory=dict)
 
     def op(self, index: int = -1) -> OpRecord:
         return self.ops[index]
@@ -186,6 +192,16 @@ class RunResult:
                 f"in {o.elapsed:8.3f} s = {o.throughput / MB:7.2f} MB/s"
             )
         lines.append(utilization(self.runtime).summary())
+        if self.counters:
+            c = self.counters
+            plan = f"{c['plan_cache_hits']}/{c['plan_cache_hits'] + c['plan_cache_misses']}"
+            geom = f"{c['geom_cache_hits']}/{c['geom_cache_hits'] + c['geom_cache_misses']}"
+            lines.append(
+                f"engine: {c['events_scheduled']} events scheduled "
+                f"({c['events_fastpath']} fast-path), "
+                f"{c['bytes_copied'] / MB:.2f} MB copied, "
+                f"plan cache {plan} hit, geometry cache {geom} hit"
+            )
         return "\n".join(lines)
 
 
@@ -344,6 +360,7 @@ class PandaRuntime:
             raise ValueError("no application assignments given")
 
         t0 = self.sim.now
+        counters_before = COUNTERS.snapshot()
         server_procs = []
         for i in range(self.n_io):
             server = PandaServer(
@@ -386,9 +403,14 @@ class PandaRuntime:
         for p in client_procs:
             p.value  # re-raise any client failure with its traceback
         ops = self.oplog.finished()
+        counters_after = COUNTERS.snapshot()
         result = RunResult(
             ops=[o for o in ops], elapsed=self.sim.now - t0,
             trace=self.trace, runtime=self,
+            counters={
+                k: counters_after[k] - counters_before[k]
+                for k in counters_after
+            },
         )
         # ops are cumulative across runs; report only this run's slice
         result.ops = [o for o in ops if o.start >= t0]

@@ -44,7 +44,7 @@ from repro.core.protocol import (
 from repro.fs.filesystem import FileSystem
 from repro.mpi.comm import Communicator
 from repro.mpi.datatypes import DataBlock
-from repro.schema.regions import Region
+from repro.schema.regions import Region, runs_within
 from repro.schema.reorganize import extract_region, inject_region
 
 __all__ = ["PandaServer"]
@@ -159,7 +159,7 @@ class PandaServer:
                         f"{piece.subchunk_seq} during sub-chunk {item.seq}"
                     )
                 yield from self.comm.handle()
-                runs, _ = piece.region.contiguous_runs_within(item.region)
+                runs, _ = runs_within(piece.region, item.region)
                 total_runs += runs
                 if real:
                     data = piece.block.array.view(spec.np_dtype).reshape(
@@ -198,7 +198,7 @@ class PandaServer:
             pieces = self._pieces_of(op, spec, item)
             total_runs = 0
             for _, region in pieces:
-                runs, _ = region.contiguous_runs_within(item.region)
+                runs, _ = runs_within(region, item.region)
                 total_runs += runs
             # staging pass: carve the sub-chunk into pieces
             yield from self.comm.copy(item.nbytes, max(total_runs, 1))

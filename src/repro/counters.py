@@ -1,0 +1,62 @@
+"""Global wall-clock performance counters.
+
+A single process-wide :class:`PerfCounters` instance (:data:`COUNTERS`)
+is incremented from the engine, the data plane and the plan/geometry
+caches.  The counters measure *host* work -- events dispatched, payload
+bytes physically copied, cache effectiveness -- and are entirely
+invisible to the simulated clock.
+
+This module deliberately imports nothing from the rest of the package:
+it sits below :mod:`repro.sim` in the dependency order so the hottest
+code can increment counters without import cycles.  The user-facing
+surface (reset/snapshot/profile helpers) lives in
+:mod:`repro.bench.profiling`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PerfCounters", "COUNTERS"]
+
+
+class PerfCounters:
+    """Plain additive counters; attribute increments only, so the hot
+    paths pay one attribute store per event."""
+
+    __slots__ = (
+        "events_scheduled",
+        "events_fastpath",
+        "bytes_copied",
+        "plan_cache_hits",
+        "plan_cache_misses",
+        "geom_cache_hits",
+        "geom_cache_misses",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        #: events pushed through Simulator.schedule (heap + fast path)
+        self.events_scheduled = 0
+        #: the subset of events_scheduled that took the zero-delay deque
+        self.events_fastpath = 0
+        #: payload bytes physically copied by the data plane (gather/
+        #: scatter materialisations and store writes; zero-copy views
+        #: do not count)
+        self.bytes_copied = 0
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        #: geometry caches: DataSchema.chunks_intersecting and
+        #: Region.contiguous_runs_within memos
+        self.geom_cache_hits = 0
+        self.geom_cache_misses = 0
+
+    def snapshot(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
+        return f"PerfCounters({inner})"
+
+
+COUNTERS = PerfCounters()

@@ -105,9 +105,12 @@ class FileHandle:
         self.offset = offset
 
     def write(self, block: DataBlock):
-        """Write ``block`` at the current offset (timed)."""
+        """Write ``block`` at the current offset (timed).  The block's
+        bytes are handed to the store as a read-only view (no
+        intermediate copy); the store itself performs the one real copy
+        into the file buffer."""
         self._check_open(write=True)
-        data = block.to_bytes() if (block.is_real and self.fs.real) else None
+        data = block.to_buffer() if (block.is_real and self.fs.real) else None
         if self.fs.real and data is None and block.nbytes > 0:
             raise ValueError(
                 "real file system requires real payloads (got virtual block)"
@@ -119,7 +122,10 @@ class FileHandle:
 
     def read(self, nbytes: int):
         """Read ``nbytes`` at the current offset (timed).  Returns a
-        :class:`DataBlock` (real or virtual to match the store)."""
+        :class:`DataBlock` (real or virtual to match the store).  Real
+        blocks wrap the store's read-only view zero-copy: a straight
+        ``frombuffer``, no byte duplication, and mutation-proof because
+        the view is read-only."""
         self._check_open(write=False)
         yield from self.fs.disk.access(self.path, self.offset, nbytes, write=False)
         raw = self.fs.store.read(self.path, self.offset, nbytes)

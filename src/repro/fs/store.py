@@ -11,13 +11,28 @@ Two implementations of one small interface:
 
 Stores are pure state -- no simulation time passes here; timing lives
 in :class:`repro.fs.disk.DiskModel`.
+
+Zero-copy contract: ``MemoryStore.read`` returns a **read-only**
+``memoryview`` aliasing the file buffer -- one copy saved per read, and
+mutating a returned view can never corrupt a committed file.  ``write``
+accepts any C-contiguous buffer (bytes, memoryview, NumPy array).  A
+live read view pins the underlying ``bytearray`` against in-place
+resizing; a write that must grow a pinned file transparently reallocates
+(old views keep seeing the pre-write snapshot).
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.counters import COUNTERS
+
 __all__ = ["MemoryStore", "ExtentStore"]
+
+
+def _buffer_nbytes(data) -> int:
+    nb = getattr(data, "nbytes", None)
+    return nb if nb is not None else len(data)
 
 
 class MemoryStore:
@@ -41,25 +56,38 @@ class MemoryStore:
     def paths(self) -> list[str]:
         return sorted(self._files)
 
-    def write(self, path: str, offset: int, data: Optional[bytes], nbytes: int) -> None:
+    def write(self, path: str, offset: int, data, nbytes: int) -> None:
         if data is None:
             raise ValueError("MemoryStore requires real bytes")
-        if len(data) != nbytes:
-            raise ValueError(f"write of {nbytes}B given {len(data)}B of data")
+        if _buffer_nbytes(data) != nbytes:
+            raise ValueError(
+                f"write of {nbytes}B given {_buffer_nbytes(data)}B of data"
+            )
         buf = self._files[path]
         end = offset + nbytes
         if len(buf) < end:
-            buf.extend(b"\x00" * (end - len(buf)))
+            try:
+                buf.extend(b"\x00" * (end - len(buf)))
+            except BufferError:
+                # a live read view pins the buffer; reallocate instead.
+                # Old views keep the pre-write snapshot -- they can
+                # neither observe nor corrupt this write.
+                grown = bytearray(end)
+                grown[: len(buf)] = buf
+                self._files[path] = grown
+                buf = grown
         buf[offset:end] = data
+        COUNTERS.bytes_copied += nbytes
 
-    def read(self, path: str, offset: int, nbytes: int) -> bytes:
+    def read(self, path: str, offset: int, nbytes: int) -> memoryview:
+        """A read-only view of ``[offset, offset + nbytes)`` -- zero-copy."""
         buf = self._files[path]
         if offset + nbytes > len(buf):
             raise ValueError(
                 f"read past EOF: {path} has {len(buf)}B, "
                 f"requested [{offset}, {offset + nbytes})"
             )
-        return bytes(buf[offset : offset + nbytes])
+        return memoryview(buf).toreadonly()[offset : offset + nbytes]
 
     def read_all(self, path: str) -> bytes:
         return bytes(self._files[path])

@@ -19,6 +19,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.counters import COUNTERS
+
 __all__ = ["DataBlock"]
 
 
@@ -58,10 +60,24 @@ class DataBlock:
         return self.array is not None
 
     def to_bytes(self) -> bytes:
-        """Raw bytes of a real block (row-major)."""
+        """Raw bytes of a real block (row-major).  This *copies*; prefer
+        :meth:`to_buffer` when a read-only view suffices."""
         if self.array is None:
             raise ValueError("virtual DataBlock has no bytes")
+        COUNTERS.bytes_copied += self.nbytes
         return self.array.tobytes()
+
+    def to_buffer(self) -> memoryview:
+        """Zero-copy read-only byte view of a real block.
+
+        The view aliases :attr:`array` (which in turn may alias a
+        client's bound chunk or a store file) -- valid only while the
+        block's producer leaves that memory untouched, which holds for
+        the within-collective lifetimes the protocol creates.
+        """
+        if self.array is None:
+            raise ValueError("virtual DataBlock has no bytes")
+        return memoryview(self.array).cast("B").toreadonly()
 
     def __repr__(self) -> str:
         kind = "real" if self.is_real else "virtual"

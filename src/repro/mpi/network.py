@@ -85,7 +85,9 @@ class Network:
             self.out_links[src].release()
         self.messages_sent += 1
         self.bytes_sent += nbytes
-        delivered = sim.event(name=f"delivery {src}->{dst}")
+        # static name: one transfer per message makes per-delivery
+        # f-strings measurable; src/dst are recoverable from the Message
+        delivered = Event(sim, "delivery")
         sim.schedule(self.spec.network_latency, self._deliver, src, dst, tag, payload, nbytes, delivered)
         return delivered
 

@@ -14,13 +14,19 @@ ask during plan formation:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import product
 from typing import Iterator, List, Sequence, Tuple, Union
 
+from repro.counters import COUNTERS
 from repro.schema.distribution import BLOCK, Dist, block_span, parse_dist
 from repro.schema.layout import Mesh
 from repro.schema.regions import Region
 
 __all__ = ["Chunk", "DataSchema"]
+
+#: per-schema bound on memoised chunks_intersecting query regions; the
+#: distinct sub-chunk regions of any one plan are far fewer.
+_INTERSECT_CACHE_MAX = 4096
 
 
 @dataclass(frozen=True)
@@ -121,27 +127,96 @@ class DataSchema:
             hi.append(h)
         return Region(tuple(lo), tuple(hi))
 
+    # -- geometry caches ---------------------------------------------------
+    # The schema is immutable, so its chunk list and intersection
+    # queries are pure; both are memoised on the instance (lazily, via
+    # object.__setattr__ -- the attributes are not dataclass fields, so
+    # equality and hashing are unaffected).  Plan formation asks these
+    # questions once per sub-chunk per collective; a timestep loop or a
+    # figure sweep repeats them thousands of times.
+
+    def _chunk_list(self) -> Tuple[Chunk, ...]:
+        """All chunks (including empty ones) by canonical id, cached."""
+        try:
+            return self._chunks_cache
+        except AttributeError:
+            chunks = tuple(
+                Chunk(i, coords, self.chunk_region(coords))
+                for i, coords in enumerate(self.mesh.iter_coords())
+            )
+            object.__setattr__(self, "_chunks_cache", chunks)
+            return chunks
+
     def chunk(self, index: int) -> Chunk:
         """Chunk by canonical (row-major mesh) id."""
-        coords = self.mesh.coords_of(index)
-        return Chunk(index, coords, self.chunk_region(coords))
+        chunks = self._chunk_list()
+        if not 0 <= index < len(chunks):
+            raise ValueError(
+                f"mesh index {index} out of range (size {len(chunks)})"
+            )
+        return chunks[index]
 
     def chunks(self, include_empty: bool = False) -> Iterator[Chunk]:
         """All chunks in canonical order.  Empty chunks (possible when
         mesh dims exceed array extents) are skipped unless requested."""
-        for i in range(self.mesh.size):
-            c = self.chunk(i)
+        for c in self._chunk_list():
             if include_empty or not c.empty:
                 yield c
 
     def chunks_intersecting(self, region: Region) -> List[Tuple[Chunk, Region]]:
         """All (chunk, overlap) pairs whose region meets ``region``,
-        in canonical chunk order."""
-        out = []
-        for c in self.chunks():
-            overlap = c.region.intersect(region)
-            if overlap is not None:
-                out.append((c, overlap))
+        in canonical chunk order.  Memoised per (schema, region).
+
+        Rather than scanning every chunk, the HPF BLOCK rule gives the
+        candidate mesh coordinates directly: in each distributed
+        dimension, blocks of size ``b = ceil(extent / parts)`` overlap
+        ``[lo, hi)`` exactly for indices ``lo // b .. (hi - 1) // b``.
+        The cartesian product of those per-dimension ranges, walked in
+        row-major order, visits the intersecting chunks in ascending
+        canonical id -- the same pairs, in the same order, as the scan.
+        """
+        try:
+            cache = self._intersect_cache
+        except AttributeError:
+            cache = {}
+            object.__setattr__(self, "_intersect_cache", cache)
+        hit = cache.get(region)
+        if hit is not None:
+            COUNTERS.geom_cache_hits += 1
+            return list(hit)
+        COUNTERS.geom_cache_misses += 1
+        out: List[Tuple[Chunk, Region]] = []
+        if not region.empty:
+            chunks = self._chunk_list()
+            dims = self.mesh.dims
+            ranges: List[range] = []
+            m = 0
+            feasible = True
+            for extent, dist, rl, rh in zip(
+                self.shape, self.dists, region.lo, region.hi
+            ):
+                if dist.distributed:
+                    parts = dims[m]
+                    b = -(-extent // parts)
+                    lo_i = max(0, rl // b)
+                    hi_i = min(parts - 1, (rh - 1) // b)
+                    if lo_i > hi_i:
+                        feasible = False
+                        break
+                    ranges.append(range(lo_i, hi_i + 1))
+                    m += 1
+            if feasible:
+                for coords in product(*ranges):
+                    idx = 0
+                    for d, c in zip(dims, coords):
+                        idx = idx * d + c
+                    chunk = chunks[idx]
+                    overlap = chunk.region.intersect(region)
+                    if overlap is not None:
+                        out.append((chunk, overlap))
+        if len(cache) >= _INTERSECT_CACHE_MAX:
+            cache.clear()
+        cache[region] = tuple(out)
         return out
 
     def owner_of_point(self, point: Sequence[int]) -> Chunk:

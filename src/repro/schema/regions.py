@@ -12,7 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence, Tuple
 
-__all__ = ["Region"]
+from repro.counters import COUNTERS
+
+__all__ = ["Region", "runs_within"]
 
 
 @dataclass(frozen=True)
@@ -176,7 +178,6 @@ class Region:
             return
         # leading dims that vary across runs
         lead = 0
-        size = self.size
         acc = 1
         for extent in self.shape:
             if acc == n_runs:
@@ -213,3 +214,30 @@ class Region:
     def __repr__(self) -> str:
         spans = ",".join(f"{l}:{h}" for l, h in zip(self.lo, self.hi))
         return f"Region[{spans}]"
+
+
+#: memo for :func:`runs_within`; cleared wholesale when full (the
+#: working set of (piece, sub-chunk) pairs per sweep is far smaller).
+_RUNS_CACHE: dict = {}
+_RUNS_CACHE_MAX = 1 << 16
+
+
+def runs_within(region: Region, container: Region) -> Tuple[int, int]:
+    """Memoised :meth:`Region.contiguous_runs_within`.
+
+    The protocol evaluates the same (piece region, sub-chunk region)
+    pairs once per sub-chunk per collective -- across a timestep loop or
+    a figure sweep the same geometry recurs thousands of times, so the
+    pure result is cached process-wide.
+    """
+    key = (region, container)
+    hit = _RUNS_CACHE.get(key)
+    if hit is not None:
+        COUNTERS.geom_cache_hits += 1
+        return hit
+    COUNTERS.geom_cache_misses += 1
+    result = region.contiguous_runs_within(container)
+    if len(_RUNS_CACHE) >= _RUNS_CACHE_MAX:
+        _RUNS_CACHE.clear()
+    _RUNS_CACHE[key] = result
+    return result

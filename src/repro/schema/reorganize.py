@@ -27,7 +27,8 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
-from repro.schema.regions import Region
+from repro.counters import COUNTERS
+from repro.schema.regions import Region, runs_within
 
 __all__ = ["extract_region", "inject_region", "gather_into", "region_runs"]
 
@@ -48,9 +49,20 @@ def extract_region(
     chunk: np.ndarray, origin: Sequence[int], region: Region
 ) -> np.ndarray:
     """Gather global ``region`` out of ``chunk`` (whose global origin is
-    ``origin``) into a fresh C-contiguous array of ``region.shape``."""
+    ``origin``) as a C-contiguous array of ``region.shape``.
+
+    Zero-copy fast path: when the slice is a single contiguous run of
+    the chunk (it spans the trailing dimensions), the returned array is
+    a *view aliasing* ``chunk`` -- no bytes move.  Callers must treat
+    the result as read-only or copy before mutating.  Strided regions
+    are gathered into a fresh buffer as before.
+    """
     sl = _local_slices(region, origin, chunk.shape)
-    return np.ascontiguousarray(chunk[sl])
+    view = chunk[sl]
+    if view.flags["C_CONTIGUOUS"]:
+        return view
+    COUNTERS.bytes_copied += view.nbytes
+    return np.ascontiguousarray(view)
 
 
 def inject_region(
@@ -64,6 +76,7 @@ def inject_region(
     if data.shape != view.shape:
         data = data.reshape(view.shape)
     view[...] = data
+    COUNTERS.bytes_copied += view.nbytes
 
 
 def gather_into(
@@ -90,4 +103,4 @@ def region_runs(region: Region, chunk_region: Region) -> Tuple[int, int]:
     (and, for a piece equal to the whole transfer, can be sent
     zero-copy).
     """
-    return region.contiguous_runs_within(chunk_region)
+    return runs_within(region, chunk_region)

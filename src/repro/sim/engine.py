@@ -6,6 +6,14 @@ A :class:`Simulator` owns a priority queue of ``(time, sequence,
 callback)`` entries.  Ties in time are broken by insertion order, which
 makes every simulation fully deterministic.
 
+Zero-delay entries -- the dominant case: event triggers and process
+resumes -- bypass the heap through a FIFO deque (``_ready``).  Because
+the sequence number is globally monotone and zero-delay entries always
+carry the current time, draining ``min(heap top, deque head)`` by
+``(time, seq)`` dispatches events in *exactly* the order a pure heap
+would: the fast path changes wall-clock cost only, never simulated
+behaviour.
+
 Simulation *processes* are Python generators.  A process advances by
 ``yield``-ing a waitable -- a :class:`Timeout`, an :class:`Event`,
 another :class:`Process`, or a combinator (:class:`AllOf`,
@@ -21,7 +29,10 @@ loop; callbacks must not call :meth:`Simulator.run`.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.counters import COUNTERS
 
 __all__ = [
     "AllOf",
@@ -100,7 +111,15 @@ class Event:
     # -- triggering ------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        self._trigger(value, None)
+        # _trigger inlined: success is the per-message hot path
+        if self._triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._triggered = True
+        self._value = value
+        callbacks, self.callbacks = self.callbacks, None
+        schedule = self.sim.schedule
+        for cb in callbacks:
+            schedule(0.0, cb, self)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -132,6 +151,19 @@ class Event:
             assert self.callbacks is not None
             self.callbacks.append(cb)
 
+    def discard_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Unregister a pending callback.  No-op when the event has
+        already triggered (the callback list is consumed then) or the
+        callback was never registered.  Used by :class:`AnyOf` /
+        :class:`AllOf` to abandon losing branches so long-lived events
+        do not accumulate dead closures."""
+        cbs = self.callbacks
+        if cbs is not None:
+            try:
+                cbs.remove(cb)
+            except ValueError:
+                pass
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "triggered" if self._triggered else "pending"
         label = f" {self.name!r}" if self.name else ""
@@ -146,12 +178,24 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=f"timeout({delay:g})")
+        # Event.__init__ inlined (timeouts are created per message); no
+        # name either -- __repr__ renders the delay on demand instead
+        self.sim = sim
+        self.name = ""
+        self.callbacks = []
+        self._value = None
+        self._exc = None
+        self._triggered = False
+        self._defused = False
         self.delay = delay
         sim.schedule(delay, self._fire, value)
 
     def _fire(self, value: Any) -> None:
         self.succeed(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<Timeout({self.delay:g}) {state}>"
 
 
 class AllOf(Event):
@@ -175,6 +219,10 @@ class AllOf(Event):
             return
         if ev.exception is not None:
             self.fail(ev.exception)
+            # abandon the branches still pending so they do not keep a
+            # dead closure registered forever
+            for child in self._children:
+                child.discard_callback(self._on_child)
             return
         self._remaining -= 1
         if self._remaining == 0:
@@ -186,15 +234,18 @@ class AnyOf(Event):
     of the first child to succeed.  Fails if the first child to trigger
     failed."""
 
-    __slots__ = ("_children",)
+    __slots__ = ("_children", "_child_cbs")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim, name="any_of")
         self._children = list(events)
         if not self._children:
             raise ValueError("AnyOf requires at least one event")
+        self._child_cbs: list[Callable[[Event], None]] = []
         for idx, ev in enumerate(self._children):
-            ev.add_callback(lambda e, i=idx: self._on_child(i, e))
+            cb = lambda e, i=idx: self._on_child(i, e)  # noqa: E731
+            self._child_cbs.append(cb)
+            ev.add_callback(cb)
 
     def _on_child(self, idx: int, ev: Event) -> None:
         if self._triggered:
@@ -203,6 +254,12 @@ class AnyOf(Event):
             self.fail(ev.exception)
         else:
             self.succeed((idx, ev.value))
+        # the race is decided: withdraw the losing branches' callbacks
+        # from their (possibly never-triggering) events
+        for j, child in enumerate(self._children):
+            if j != idx:
+                child.discard_callback(self._child_cbs[j])
+        self._child_cbs = []
 
 
 class Process(Event):
@@ -245,17 +302,18 @@ class Process(Event):
                 return  # stale wakeup from an abandoned AnyOf branch
         self._waiting_on = None
         throw: Optional[BaseException] = None
-        if isinstance(trigger, _InterruptResume):
+        if type(trigger) is _InterruptResume:
             throw = trigger.interrupt
-        elif trigger.exception is not None:
-            throw = trigger.exception
+        elif trigger._exc is not None:
+            trigger._defused = True
+            throw = trigger._exc
         while True:
             try:
                 if throw is not None:
                     target = self._gen.throw(throw)
                 else:
                     target = self._gen.send(
-                        None if isinstance(trigger, _InitialResume) else trigger.value
+                        None if type(trigger) is _InitialResume else trigger._value
                     )
             except StopIteration as stop:
                 self.sim._live_processes -= 1
@@ -323,6 +381,10 @@ class Simulator:
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
+        #: zero-delay entries, same (time, seq, callback, args) layout as
+        #: the heap.  Entries always carry the current time and globally
+        #: increasing seq numbers, so FIFO order *is* heap order for them.
+        self._ready: deque[tuple[float, int, Callable[..., None], tuple]] = deque()
         self._seq = 0
         self._live_processes = 0
         self._unhandled: list[tuple[Process, BaseException]] = []
@@ -335,6 +397,13 @@ class Simulator:
     # -- scheduling ------------------------------------------------------
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
         """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        c = COUNTERS
+        c.events_scheduled += 1
+        if delay == 0.0:
+            self._ready.append((self._now, self._seq, callback, args))
+            self._seq += 1
+            c.events_fastpath += 1
+            return
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
         heapq.heappush(self._heap, (self._now + delay, self._seq, callback, args))
@@ -359,15 +428,35 @@ class Simulator:
         return Process(self, gen, name)
 
     # -- execution ---------------------------------------------------------
+    def _peek(self) -> Optional[tuple[float, int, Callable[..., None], tuple]]:
+        """The next entry in global (time, seq) order, or None."""
+        ready, heap = self._ready, self._heap
+        if ready:
+            # seq is globally unique, so the tuple comparison never
+            # reaches the (incomparable) callback element
+            if heap and heap[0] < ready[0]:
+                return heap[0]
+            return ready[0]
+        return heap[0] if heap else None
+
     def step(self) -> bool:
         """Execute the next queued event.  Returns False when the queue
         is empty."""
-        if not self._heap:
+        ready = self._ready
+        if ready:
+            heap = self._heap
+            if heap and heap[0] < ready[0]:
+                t, _seq, callback, args = heapq.heappop(heap)
+            else:
+                t, _seq, callback, args = ready.popleft()
+        elif self._heap:
+            t, _seq, callback, args = heapq.heappop(self._heap)
+        else:
             return False
-        t, _seq, callback, args = heapq.heappop(self._heap)
         if t < self._now - 1e-15:
             raise SimulationError("time went backwards")
-        self._now = max(self._now, t)
+        if t > self._now:
+            self._now = t
         callback(*args)
         return True
 
@@ -376,13 +465,33 @@ class Simulator:
         ``until``).  Raises the first unhandled process exception, and
         raises :class:`SimulationError` on deadlock (live processes but
         no queued events).  Returns the final simulation time."""
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        # step() inlined: one bound-method call per event is measurable
+        # at sweep scale.  Must stay behaviour-identical to step().
+        ready, heap = self._ready, self._heap
+        unhandled = self._unhandled
+        pop = heapq.heappop
+        while heap or ready:
+            if ready:
+                if heap and heap[0] < ready[0]:
+                    entry = pop(heap)
+                else:
+                    entry = ready.popleft()
+            else:
+                entry = pop(heap)
+            t = entry[0]
+            if until is not None and t > until:
+                # not due yet: put it back (the heap orders by the same
+                # (time, seq) key wherever the entry came from) and stop
+                heapq.heappush(heap, entry)
                 self._now = until
                 break
-            self.step()
-            if self._unhandled:
-                proc, exc = self._unhandled.pop(0)
+            if t > self._now:
+                self._now = t
+            elif t < self._now - 1e-15:
+                raise SimulationError("time went backwards")
+            entry[2](*entry[3])
+            if unhandled:
+                proc, exc = unhandled.pop(0)
                 raise SimulationError(
                     f"unhandled failure in process {proc.name!r}"
                 ) from exc

@@ -41,6 +41,8 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        # formatted once: acquire() runs millions of times per sweep
+        self._acquire_name = f"acquire({name})"
         self._in_use = 0
         self._waiters: deque[Event] = deque()
         # utilisation accounting
@@ -56,7 +58,7 @@ class Resource:
         return len(self._waiters)
 
     def _account(self) -> None:
-        now = self.sim.now
+        now = self.sim._now  # bypass the property: called per message
         self._busy_time += self._in_use * (now - self._last_change)
         self._last_change = now
 
@@ -67,7 +69,7 @@ class Resource:
 
     def acquire(self) -> Event:
         """Return an event that fires when a server slot is granted."""
-        ev = self.sim.event(name=f"acquire({self.name})")
+        ev = Event(self.sim, self._acquire_name)
         if self._in_use < self.capacity and not self._waiters:
             self._account()
             self._in_use += 1
@@ -108,6 +110,7 @@ class Store:
     def __init__(self, sim: Simulator, name: str = "") -> None:
         self.sim = sim
         self.name = name
+        self._get_name = f"get({name})"
         self._items: deque[Any] = deque()
         self._getters: deque[tuple[Event, Optional[Callable[[Any], bool]]]] = deque()
 
@@ -120,7 +123,7 @@ class Store:
 
     def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
         """Return an event that fires with the oldest matching item."""
-        ev = self.sim.event(name=f"get({self.name})")
+        ev = Event(self.sim, self._get_name)
         self._getters.append((ev, predicate))
         self._dispatch()
         return ev

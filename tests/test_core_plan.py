@@ -216,3 +216,28 @@ def test_api_array_subchunk_override_marshals():
     assert a.spec().sub_chunk_bytes == 128
     b = Array("b", (8,), np.float64, mem, [BLOCK])
     assert b.spec().sub_chunk_bytes is None
+
+
+def test_plan_items_cached_across_ops_with_same_geometry():
+    """The plan memo keys on (arrays, server, n_servers, sub-chunk
+    bytes) -- not on op id, dataset, or kind -- so a timestep loop
+    (fresh dataset per step) computes its plan once."""
+    from repro.counters import COUNTERS
+
+    spec = make_spec(name="plan-cache-probe")  # unique: no cross-test hits
+    cfg = PandaConfig()
+    a = build_server_plan(make_op(spec, dataset="step.0", op_id=0), 0, 2, cfg)
+    before = COUNTERS.snapshot()
+    b = build_server_plan(
+        make_op(spec, dataset="step.1", op_id=7, kind="read"), 0, 2, cfg
+    )
+    after = COUNTERS.snapshot()
+    assert after["plan_cache_hits"] == before["plan_cache_hits"] + 1
+    assert after["plan_cache_misses"] == before["plan_cache_misses"]
+    assert a.items == b.items
+    assert a.items is not b.items  # plans stay independently mutable
+    # a different striping width misses
+    c = build_server_plan(make_op(spec, dataset="step.0"), 0, 3, cfg)
+    assert COUNTERS.snapshot()["plan_cache_misses"] == \
+        after["plan_cache_misses"] + 1
+    assert c.n_servers == 3

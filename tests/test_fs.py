@@ -301,3 +301,52 @@ def test_read_all_bytes_requires_real():
     fs = FileSystem(sim, NAS_SP2, real=False)
     with pytest.raises(ValueError):
         fs.read_all_bytes("x")
+
+
+# --- zero-copy read views ------------------------------------------------
+
+def test_memory_store_read_returns_readonly_view():
+    st = MemoryStore()
+    st.create("f")
+    st.write("f", 0, b"hello world", 11)
+    view = st.read("f", 0, 5)
+    assert isinstance(view, memoryview)
+    assert view.readonly
+    with pytest.raises(TypeError):
+        view[0] = 0
+    assert st.read_all("f") == b"hello world"
+
+
+def test_memory_store_grow_under_live_view_reallocates():
+    """A live read view pins the bytearray; a growing write must still
+    succeed, and the old view keeps the pre-write snapshot."""
+    st = MemoryStore()
+    st.create("f")
+    st.write("f", 0, b"abc", 3)
+    view = st.read("f", 0, 3)
+    st.write("f", 3, b"def", 3)  # grows while the view pins the buffer
+    assert st.read_all("f") == b"abcdef"
+    assert bytes(view) == b"abc"
+
+
+def test_filesystem_read_block_is_mutation_proof():
+    """Mutating the array a FileHandle.read returns cannot corrupt the
+    committed file bytes."""
+    sim = Simulator()
+    fs = FileSystem(sim, NAS_SP2, real=True)
+
+    def proc(sim):
+        fh = fs.open("data", "w")
+        yield from fh.write(DataBlock.real(np.arange(16, dtype=np.uint8)))
+        yield from fh.fsync()
+        fh.close()
+        fh = fs.open("data", "r")
+        block = yield from fh.read(16)
+        fh.close()
+        return block
+
+    block = sim.run_process(proc(sim))
+    assert not block.array.flags.writeable
+    with pytest.raises((ValueError, RuntimeError)):
+        block.array[0] = 99
+    assert fs.read_all_bytes("data") == bytes(range(16))

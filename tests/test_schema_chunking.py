@@ -197,3 +197,52 @@ def test_natural_chunking_equivalence():
     for cm, cd in zip(mem.chunks(), disk.chunks()):
         assert cm.region == cd.region
         assert cm.index == cd.index
+
+
+# --- chunks_intersecting: analytic candidates vs exhaustive scan ----------
+
+def test_chunks_intersecting_matches_exhaustive_scan():
+    import random
+
+    random.seed(11)
+    schemas = [
+        DataSchema.build((17, 9), (4, 2), ("BLOCK", "BLOCK")),
+        DataSchema.build((8, 8, 8), (2, 2, 2), ("BLOCK", "BLOCK", "BLOCK")),
+        DataSchema.build((10, 7), (3,), ("BLOCK", "*")),
+        DataSchema.build((7, 10), (3,), ("*", "BLOCK")),
+        DataSchema.build((5,), (8,), ("BLOCK",)),  # short/empty tail chunks
+        DataSchema.build((12, 5, 6), (2, 3), ("BLOCK", "*", "BLOCK")),
+    ]
+    for schema in schemas:
+        for _ in range(100):
+            lo = tuple(random.randint(0, e) for e in schema.shape)
+            hi = tuple(
+                random.randint(l, e) for l, e in zip(lo, schema.shape)
+            )
+            region = Region(lo, hi)
+            fast = schema.chunks_intersecting(region)
+            slow = [
+                (c, o)
+                for c in schema.chunks()
+                for o in [c.region.intersect(region)]
+                if o is not None
+            ]
+            assert fast == slow, (schema, region)
+
+
+def test_chunks_intersecting_is_memoised():
+    schema = DataSchema.build((16, 16), (2, 2), ("BLOCK", "BLOCK"))
+    region = Region((0, 0), (9, 9))
+    first = schema.chunks_intersecting(region)
+    second = schema.chunks_intersecting(region)
+    assert first == second
+    assert first is not second  # callers get an independent list
+
+
+def test_chunk_list_cached_and_index_checked():
+    schema = DataSchema.build((8, 8), (2, 2), ("BLOCK", "BLOCK"))
+    assert schema.chunk(3) is schema.chunk(3)
+    with pytest.raises(ValueError):
+        schema.chunk(4)
+    with pytest.raises(ValueError):
+        schema.chunk(-1)

@@ -187,3 +187,33 @@ def test_hashable_and_equal():
     assert a == b
     assert hash(a) == hash(b)
     assert len({a, b}) == 1
+
+
+def test_iter_runs_merges_fully_spanned_suffix():
+    """Trailing dimensions the region spans fully in the container merge
+    with the first partial dimension into single long runs."""
+    container = Region((0, 0, 0), (4, 6, 8))
+    region = Region((1, 0, 0), (3, 6, 8))  # full in dims 1 and 2
+    assert region.contiguous_runs_within(container) == (1, 96)
+    assert list(region.iter_runs_within(container)) == [((1, 0, 0), 96)]
+
+
+def test_iter_runs_partial_middle_dim_start_points():
+    container = Region((0, 0, 0), (4, 6, 8))
+    region = Region((1, 2, 0), (3, 5, 8))  # partial middle, full last
+    runs = list(region.iter_runs_within(container))
+    # the fully-spanned last dim merges into one 3x8-element run per row
+    assert runs == [((1, 2, 0), 24), ((2, 2, 0), 24)]
+    offs = [container.linear_offset_of(p) for p, _ in runs]
+    assert offs == sorted(offs)
+    assert sum(n for _, n in runs) == region.size
+
+
+def test_runs_within_memo_matches_direct_computation():
+    from repro.schema.regions import runs_within
+
+    container = Region((0, 0), (8, 8))
+    region = Region((2, 0), (5, 8))
+    direct = region.contiguous_runs_within(container)
+    assert runs_within(region, container) == direct
+    assert runs_within(region, container) == direct  # cached second call

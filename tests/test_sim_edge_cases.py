@@ -239,3 +239,69 @@ def test_zero_capacity_run_of_processes_scales():
     sim.run()
     assert done == list(range(n))
     assert sim.now == pytest.approx(n * 0.001)
+
+
+def test_anyof_withdraws_loser_callbacks():
+    """Once an AnyOf resolves, the losing branches' callbacks are
+    removed from their events (regression: they used to linger on
+    never-firing events forever)."""
+    sim = Simulator()
+    never = sim.event()
+
+    def proc(sim):
+        winner = yield AnyOf(sim, [sim.timeout(1.0, "fast"), never])
+        return winner
+
+    p = sim.spawn(proc(sim))
+    sim.run()
+    assert p.value == (0, "fast")
+    assert never.callbacks == []
+
+
+def test_anyof_against_longlived_event_does_not_accumulate():
+    """Repeatedly racing timeouts against one long-lived event leaves
+    no dead closures behind on it."""
+    sim = Simulator()
+    never = sim.event()
+
+    def proc(sim):
+        for _ in range(100):
+            yield AnyOf(sim, [sim.timeout(1.0), never])
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert never.callbacks == []
+    assert sim.now == 100.0
+
+
+def test_allof_withdraws_pending_children_on_failure():
+    sim = Simulator()
+    bad = sim.event()
+    pending = sim.event()
+
+    def proc(sim):
+        try:
+            yield AllOf(sim, [pending, bad])
+        except ValueError:
+            return sim.now
+
+    def failer(sim):
+        yield sim.timeout(1.0)
+        bad.fail(ValueError("boom"))
+
+    p = sim.spawn(proc(sim))
+    sim.spawn(failer(sim))
+    sim.run()
+    assert p.value == 1.0
+    assert pending.callbacks == []
+
+
+def test_discard_callback_is_noop_after_trigger_and_when_absent():
+    sim = Simulator()
+    ev = sim.event()
+    cb = lambda e: None  # noqa: E731
+    ev.discard_callback(cb)  # never registered: no-op
+    ev.add_callback(cb)
+    ev.succeed(1)
+    ev.discard_callback(cb)  # already triggered: no-op
+    sim.run()
