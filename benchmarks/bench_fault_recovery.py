@@ -1,0 +1,128 @@
+"""Fault injection & recovery: degraded-mode throughput.
+
+The paper assumes a dedicated, failure-free machine.  This module
+measures what the server-directed architecture costs once that
+assumption is dropped: a sweep of data-plane fault rates (message drops
+force retried piece exchanges; disk faults force retried requests)
+against a fault-free baseline, and the marquee scenario -- one I/O node
+crashing mid-write, with its plan portion re-partitioned onto the
+survivors (see :mod:`repro.core.recovery`).
+
+Every reported number is trace-backed: injected-fault, retry and
+recovery counts come from the run's counters, so the table shows both
+the slowdown and exactly how much repair work produced it.
+"""
+
+import pytest
+
+from conftest import publish, run_once
+
+from repro.bench.harness import build_array
+from repro.bench.report import format_rows
+from repro.core import PandaConfig, PandaRuntime
+from repro.faults import FaultSpec
+from repro.machine import MB
+from repro.workloads import write_array_app
+
+SHAPE = (64, 256, 256)  # 32 MB
+N_COMPUTE, N_IO = 8, 4
+DROP_RATES = (0.0, 0.01, 0.03, 0.10)
+CRASH_AT = 0.5  # seconds into the (multi-second) timed write
+
+
+def run_fault_point(faults):
+    """One 32 MB collective write under ``faults`` (virtual payloads).
+    Returns (elapsed, counters)."""
+    arr = build_array(SHAPE, N_COMPUTE, N_IO, "natural")
+    runtime = PandaRuntime(
+        n_compute=N_COMPUTE, n_io=N_IO,
+        config=PandaConfig(faults=faults), real_payloads=False,
+    )
+    result = runtime.run(write_array_app([arr], "bench"))
+    return result.ops[-1].elapsed, result.counters
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """Write throughput vs message-drop rate (disk faults ride along at
+    half the drop rate, as transient media errors are the rarer kind)."""
+    out = {}
+    for rate in DROP_RATES:
+        faults = (
+            FaultSpec(seed=11, msg_drop_rate=rate, disk_fault_rate=rate / 2)
+            if rate else FaultSpec(seed=11)
+        )
+        out[rate] = run_fault_point(faults)
+    return out
+
+
+@pytest.fixture(scope="module")
+def crash_scenario():
+    baseline = run_fault_point(FaultSpec(seed=7))
+    crashed = run_fault_point(FaultSpec(seed=7, crashes=((2, CRASH_AT),)))
+    return baseline, crashed
+
+
+def test_publish_fault_sweep(benchmark, sweep):
+    run_once(benchmark, lambda: None)
+    total = SHAPE[0] * SHAPE[1] * SHAPE[2] * 8
+    rows = []
+    for rate, (elapsed, c) in sweep.items():
+        rows.append([
+            f"{rate:.2f}", f"{total / elapsed / MB:.2f}",
+            str(c["messages_dropped"]), str(c["disk_faults"]),
+            str(c["fault_retries"]),
+        ])
+    publish(
+        f"fault-rate sweep, {total // MB} MB write, "
+        f"{N_COMPUTE} CN / {N_IO} ION (aggregate MB/s)\n\n"
+        + format_rows(rows, ["drop rate", "MB/s", "drops", "disk", "retries"])
+    )
+
+
+def test_publish_crash_recovery(benchmark, crash_scenario):
+    run_once(benchmark, lambda: None)
+    (base_elapsed, _), (crash_elapsed, c) = crash_scenario
+    total = SHAPE[0] * SHAPE[1] * SHAPE[2] * 8
+    rows = [
+        ["fault-free", f"{total / base_elapsed / MB:.2f}", "-", "-"],
+        [f"crash ION2 @ {CRASH_AT}s",
+         f"{total / crash_elapsed / MB:.2f}",
+         str(c["server_crashes"]), str(c["recoveries"])],
+    ]
+    publish(
+        f"I/O-node crash mid-write, {total // MB} MB, "
+        f"{N_COMPUTE} CN / {N_IO} ION\n\n"
+        + format_rows(rows, ["scenario", "MB/s", "crashes", "recoveries"])
+    )
+
+
+def test_throughput_degrades_with_fault_rate(sweep):
+    """Faults are not free: the highest drop rate must cost measurable
+    throughput, and the damage must be trace-backed (every slowdown is
+    explained by counted retries)."""
+    clean, _ = sweep[0.0]
+    worst, counters = sweep[DROP_RATES[-1]]
+    assert worst > clean
+    assert counters["messages_dropped"] > 0
+    assert counters["fault_retries"] > 0
+    _, clean_counters = sweep[0.0]
+    assert clean_counters["faults_injected"] == 0
+
+
+def test_low_rates_cost_little(sweep):
+    """At a 1% drop rate the retry machinery should cost well under
+    2x -- reliability is paid per lost message, not globally."""
+    clean, _ = sweep[0.0]
+    mild, _ = sweep[0.01]
+    assert mild < 2.0 * clean
+
+
+def test_crash_completes_degraded(crash_scenario):
+    """The op completes despite losing an I/O node; the re-partitioned
+    work shows up as exactly one recovery and a slower elapsed time."""
+    (base_elapsed, base_c), (crash_elapsed, c) = crash_scenario
+    assert c["server_crashes"] == 1
+    assert c["recoveries"] == 1
+    assert base_c["server_crashes"] == 0
+    assert crash_elapsed > base_elapsed

@@ -24,7 +24,6 @@ from conftest import publish, run_once
 
 from repro.bench.report import format_rows
 from repro.core import Array, ArrayGroup, ArrayLayout, BLOCK, PandaRuntime
-from repro.machine import MB
 
 SHAPE = (128, 128, 128)  # 16 MB per application
 

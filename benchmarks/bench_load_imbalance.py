@@ -21,7 +21,6 @@ from repro.bench.report import format_rows
 from repro.core import PandaConfig
 from repro.core.plan import build_server_plan
 from repro.core.protocol import CollectiveOp
-from repro.machine import MB
 
 
 def imbalance(n_compute: int, n_io: int, disk_schema: str = "natural",

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import pathlib
 
-import pytest
 
 RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
 _truncated = False

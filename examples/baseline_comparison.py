@@ -16,7 +16,6 @@ section.
 Run:  python examples/baseline_comparison.py
 """
 
-import numpy as np
 
 from repro.baselines import (
     BaselineRuntime,

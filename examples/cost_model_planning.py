@@ -16,8 +16,8 @@ import numpy as np
 
 from repro.bench.harness import run_panda_point
 from repro.bench.report import format_rows
-from repro.core import Array, ArrayLayout, BLOCK, NONE, best_disk_schema, predict_arrays
-from repro.machine import MB, NAS_SP2, sp2
+from repro.core import Array, ArrayLayout, BLOCK, NONE, predict_arrays
+from repro.machine import MB, sp2
 
 N_COMPUTE, N_IO = 16, 4
 SHAPE = (128, 256, 256)  # 64 MB

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Fault tolerance: the quickstart round trip on a hostile machine.
+
+Two scenarios, both with real payloads verified bit-for-bit:
+
+1. Transient faults — 8% of data-plane messages dropped, 5% of disk
+   requests failing transiently, some messages delayed.  The reliable
+   piece exchange retries every loss within its budget; the data
+   survives unchanged and every injected fault is counted.
+2. An I/O-node crash mid-write — the master's failure detector notices,
+   re-partitions the dead server's unfinished portion onto the
+   survivors (recovery files), and the subsequent read still returns
+   every byte.
+
+The fault schedule is deterministic: a pure function of the FaultSpec's
+seed and rates, never wall-clock randomness.  Run this twice and the
+simulated times match exactly.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+import numpy as np
+
+from repro.core import Array, ArrayGroup, ArrayLayout, BLOCK, PandaConfig, PandaRuntime
+from repro.faults import FaultSpec
+from repro.machine import MB
+from repro.workloads import distribute, make_global_array
+
+N_COMPUTE, N_IO = 8, 3
+SHAPE = (24, 24, 24)
+
+
+def run_roundtrip(faults, label):
+    memory = ArrayLayout("memory layout", (2, 2, 2))
+    temperature = Array("temperature", SHAPE, np.float64,
+                        memory, (BLOCK, BLOCK, BLOCK))
+    dataset = ArrayGroup("fault_demo")
+    dataset.include(temperature)
+
+    global_array = make_global_array(SHAPE)
+    chunks = distribute(global_array, temperature.memory_schema)
+
+    def app(ctx):
+        ctx.bind(temperature, chunks[ctx.rank].copy())
+        yield from dataset.write(ctx)
+        yield from dataset.read(ctx)
+
+    runtime = PandaRuntime(n_compute=N_COMPUTE, n_io=N_IO,
+                           config=PandaConfig(faults=faults))
+    result = runtime.run(app)
+
+    for rank in range(N_COMPUTE):
+        got = runtime._client_state[rank]["data"]["temperature"]
+        np.testing.assert_array_equal(got, chunks[rank])
+
+    write_op, read_op = result.ops
+    c = result.counters
+    print(f"--- {label}")
+    print(f"write {write_op.elapsed:.3f} s, read {read_op.elapsed:.3f} s "
+          f"({temperature.nbytes / MB:.2f} MB, {N_COMPUTE} CN / {N_IO} ION)")
+    print(f"faults: {c['faults_injected']} injected "
+          f"({c['messages_dropped']} drops, {c['messages_delayed']} delays, "
+          f"{c['disk_faults']} disk, {c['server_crashes']} crashes); "
+          f"{c['fault_retries']} retries, {c['recoveries']} recoveries")
+    print("round trip verified bit-for-bit on every rank\n")
+    return runtime
+
+
+def main():
+    run_roundtrip(FaultSpec(seed=42), "fault-free baseline")
+
+    run_roundtrip(
+        FaultSpec(seed=42, msg_drop_rate=0.08, msg_delay_rate=0.1,
+                  disk_fault_rate=0.05),
+        "transient faults (drops + delays + disk errors)",
+    )
+
+    rt = run_roundtrip(
+        FaultSpec(seed=42, crashes=((2, 0.005),)),
+        "I/O node 2 crashes mid-write",
+    )
+    for crashed, assignments in rt.relocations["fault_demo"].items():
+        for a in assignments:
+            print(f"recovered: server {crashed}'s portion -> "
+                  f"{a.file_name} on survivor {a.survivor_index} "
+                  f"({a.nbytes} bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,7 +21,7 @@ import numpy as np
 from repro.core import Array, ArrayGroup, ArrayLayout, BLOCK, NONE, PandaRuntime
 from repro.core.reconstruct import concatenate_server_files
 from repro.machine import MB
-from repro.workloads import distribute, make_global_array
+from repro.workloads import make_global_array
 
 SHAPE = (32, 32, 32)
 TIMESTEPS = 4

@@ -37,6 +37,7 @@ from repro.core import (
     best_disk_schema,
     predict_arrays,
 )
+from repro.faults import FaultRecoveryError, FaultSpec
 from repro.machine import KB, MB, NAS_SP2, MachineSpec, sp2
 
 __version__ = "2.0.0"
@@ -46,6 +47,8 @@ __all__ = [
     "ArrayGroup",
     "ArrayLayout",
     "BLOCK",
+    "FaultRecoveryError",
+    "FaultSpec",
     "KB",
     "MB",
     "MachineSpec",

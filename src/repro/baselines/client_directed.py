@@ -37,7 +37,7 @@ import numpy as np
 from repro.baselines.common import BaselineResult, BaselineRuntime, BaselineTags
 from repro.core.config import PandaConfig
 from repro.core.plan import build_server_plan, dataset_file
-from repro.core.protocol import ArraySpec, CollectiveOp
+from repro.core.protocol import CollectiveOp
 from repro.mpi.datatypes import DataBlock
 from repro.schema.regions import Region
 from repro.schema.reorganize import extract_region

@@ -25,7 +25,7 @@ import cProfile
 import io
 import pstats
 from contextlib import contextmanager
-from typing import Iterator, Optional
+from typing import Iterator
 
 from repro.counters import COUNTERS, PerfCounters
 

@@ -10,7 +10,7 @@ so examples and tests can *show* the bottleneck rather than argue it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Tuple
 
 __all__ = ["RunStats", "utilization"]
 

@@ -29,6 +29,11 @@ from repro.core.config import PandaConfig
 from repro.core.costmodel import CostBreakdown, best_disk_schema, predict_arrays
 from repro.core.plan import ServerPlan, SubchunkPlan, build_server_plan
 from repro.core.protocol import ArraySpec, CollectiveOp
+from repro.core.recovery import (
+    RecoveryAssignment,
+    partition_recovery,
+    recovery_file,
+)
 from repro.core.runtime import ClientContext, OpRecord, PandaRuntime, RunResult
 
 __all__ = [
@@ -44,10 +49,13 @@ __all__ = [
     "OpRecord",
     "PandaConfig",
     "PandaRuntime",
+    "RecoveryAssignment",
     "RunResult",
     "ServerPlan",
     "SubchunkPlan",
     "best_disk_schema",
     "build_server_plan",
+    "partition_recovery",
     "predict_arrays",
+    "recovery_file",
 ]

@@ -24,11 +24,18 @@ allows).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.core.protocol import ArraySpec, CollectiveOp, FetchRequest, PieceData, Tags
+from repro.core.protocol import (
+    ArraySpec,
+    CollectiveOp,
+    FetchRequest,
+    PieceAck,
+    PieceData,
+    Tags,
+)
 from repro.mpi.comm import Communicator
 from repro.mpi.datatypes import DataBlock
 from repro.schema.regions import Region, runs_within
@@ -61,6 +68,10 @@ class PandaClient:
             )
         #: this rank's memory-mesh position within the group.
         self.group_index = self.group_ranks.index(rank)
+        #: fault mode: PIECEs are acknowledged so servers can retry
+        #: dropped deliveries (see repro.faults); duplicate PIECEs from
+        #: retries are idempotent re-injections.
+        self._reliable = runtime.injector is not None
         #: persistent per-rank state: op serial, group counters, bound data
         self._state = state
         state.setdefault("op_serial", 0)
@@ -195,6 +206,10 @@ class PandaClient:
                 return
             req: FetchRequest = msg.payload
             if req.op_id != op.op_id:
+                if self._reliable and req.op_id < op.op_id:
+                    # late duplicate from a retried exchange of an op
+                    # that already completed: no server waits for it
+                    continue
                 raise RuntimeError(
                     f"rank {self.rank}: fetch for op {req.op_id} during op "
                     f"{op.op_id}"
@@ -226,6 +241,10 @@ class PandaClient:
                 return
             piece: PieceData = msg.payload
             if piece.op_id != op.op_id:
+                if self._reliable and piece.op_id < op.op_id:
+                    # late duplicate from a retried exchange of an op
+                    # that already completed: no server waits for it
+                    continue
                 raise RuntimeError(
                     f"rank {self.rank}: piece for op {piece.op_id} during op "
                     f"{op.op_id}"
@@ -243,3 +262,7 @@ class PandaClient:
                     piece.region.shape
                 )
                 inject_region(local, chunk_region.lo, piece.region, data)
+            if self._reliable:
+                ack = PieceAck(op.op_id, piece.array_index, piece.region,
+                               piece.subchunk_seq)
+                yield from self.comm.send(msg.src, Tags.PIECE_ACK, ack)

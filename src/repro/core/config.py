@@ -16,7 +16,9 @@ paper names explicitly:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
+from repro.faults import FaultSpec
 from repro.machine import MB
 
 __all__ = ["PandaConfig"]
@@ -36,6 +38,11 @@ class PandaConfig:
     #: verify that collective calls agree across clients (catches SPMD
     #: bugs in applications; cheap, on by default).
     check_collective_consistency: bool = True
+    #: deterministic fault injection + recovery budget (see
+    #: :class:`repro.faults.FaultSpec`).  ``None`` disables the fault
+    #: model entirely: every fault-free code path and simulated timing
+    #: is identical to a build without this subsystem.
+    faults: Optional[FaultSpec] = None
 
     def __post_init__(self) -> None:
         if self.sub_chunk_bytes < 1:

@@ -35,6 +35,7 @@ __all__ = [
     "ArraySpec",
     "CollectiveOp",
     "FetchRequest",
+    "PieceAck",
     "PieceData",
     "ServerDone",
     "Tags",
@@ -53,6 +54,12 @@ class Tags:
     OP_DONE = 16
     CLIENT_DONE = 17
     SHUTDOWN = 18
+    #: fault mode only -- client acknowledges a PIECE so the server's
+    #: reliable scatter can retry dropped deliveries.
+    PIECE_ACK = 19
+    #: fault mode only -- master server hands a surviving server part of
+    #: a crashed server's plan (see :mod:`repro.core.recovery`).
+    RECOVER = 20
 
 
 @dataclass(frozen=True)
@@ -191,9 +198,26 @@ class PieceData:
 
 
 @dataclass(frozen=True)
+class PieceAck:
+    """Fault mode: a client acknowledges one delivered PIECE (read
+    path), naming the exact sub-chunk piece so the server's reliable
+    scatter matches the ack to its outstanding delivery."""
+
+    op_id: int
+    array_index: int
+    region: Region
+    subchunk_seq: int
+
+
+@dataclass(frozen=True)
 class ServerDone:
-    """A server reports completion of its share of an op."""
+    """A server reports completion of its share of an op.
+
+    ``recovery`` distinguishes the second completion a survivor sends
+    after executing a mid-op recovery assignment from its ordinary
+    plan completion (the master gathers the two waves separately)."""
 
     op_id: int
     server_index: int
     bytes_moved: int
+    recovery: bool = False

@@ -26,7 +26,6 @@ from typing import List
 
 import numpy as np
 
-from repro.core.config import PandaConfig
 from repro.core.plan import build_server_plan, dataset_file
 from repro.core.protocol import ArraySpec, CollectiveOp
 

@@ -27,10 +27,11 @@ from repro.core.client import PandaClient
 from repro.core.config import PandaConfig
 from repro.counters import COUNTERS
 from repro.core.protocol import CollectiveOp, Tags
+from repro.faults import FaultInjector, NodeCrash
 from repro.fs.filesystem import FileSystem
 from repro.machine import NAS_SP2, MachineSpec
 from repro.mpi.network import Network
-from repro.sim import Simulator
+from repro.sim import Interrupt, Simulator
 from repro.sim.trace import Trace
 
 __all__ = ["PandaRuntime", "ClientContext", "RunResult", "OpRecord", "OpLog"]
@@ -202,6 +203,16 @@ class RunResult:
                 f"{c['bytes_copied'] / MB:.2f} MB copied, "
                 f"plan cache {plan} hit, geometry cache {geom} hit"
             )
+            if c.get("faults_injected"):
+                lines.append(
+                    f"faults: {c['faults_injected']} injected "
+                    f"({c['messages_dropped']} drops, "
+                    f"{c['messages_delayed']} delays, "
+                    f"{c['disk_faults']} disk, "
+                    f"{c['server_crashes']} crash(es)); "
+                    f"{c['fault_retries']} retries, "
+                    f"{c['recoveries']} plan recoveries"
+                )
         return "\n".join(lines)
 
 
@@ -231,16 +242,41 @@ class PandaRuntime:
         self.real_payloads = real_payloads
         self.trace = Trace() if trace else None
         self.sim = Simulator()
-        self.network = Network(self.sim, spec, n_compute + n_io, trace=self.trace)
+        self.injector: Optional[FaultInjector] = None
+        if self.config.faults is not None:
+            for idx, _t in self.config.faults.crashes:
+                if idx >= n_io:
+                    raise ValueError(
+                        f"crash server index {idx} out of range: this "
+                        f"runtime has {n_io} I/O node(s)"
+                    )
+            self.injector = FaultInjector(self.config.faults, self.sim,
+                                          trace=self.trace)
+            self.injector.droppable_tags = frozenset(
+                {Tags.FETCH, Tags.DATA, Tags.PIECE, Tags.PIECE_ACK}
+            )
+        self.network = Network(self.sim, spec, n_compute + n_io,
+                               trace=self.trace, injector=self.injector)
         self.filesystems = [
             FileSystem(self.sim, spec, node=f"ionode{i}", real=real_payloads,
-                       trace=self.trace)
+                       trace=self.trace, injector=self.injector)
             for i in range(n_io)
         ]
         self.oplog = OpLog(self)
         #: dataset name -> CollectiveOp that wrote it (the catalog the
         #: paper keeps in .schema files).
         self.catalog: Dict[str, CollectiveOp] = {}
+        #: I/O nodes crashed in the *current* run (fail-stop).  The
+        #: master's failure detector consults this -- the simulation
+        #: grants a perfect detector; real deployments approximate one
+        #: with heartbeats.  Reset per run (a fresh run respawns -- i.e.
+        #: repairs -- every node).
+        self.crashed_servers: set = set()
+        #: dataset -> {crashed server index -> recovery assignments}:
+        #: where reads must fetch a recovered server's plan portion
+        #: instead of its (possibly partial) own file.  Persists across
+        #: runs, like the catalog.
+        self.relocations: Dict[str, Dict[int, tuple]] = {}
         self._client_state: Dict[int, dict] = {r: {} for r in range(n_compute)}
 
     # -- rank arithmetic ------------------------------------------------------
@@ -305,7 +341,10 @@ class PandaRuntime:
 
     def catalog_commit(self, op: CollectiveOp) -> None:
         """Record a completed write in the catalog and store the .schema
-        file beside the data (on the master server's file system)."""
+        file beside the data (on the master server's file system).
+        Any recovery relocations for the dataset (recorded by the
+        master just before commit) are written into the .schema file so
+        the on-disk metadata names where every chunk actually lives."""
         self.catalog[op.dataset] = op
         desc = {
             "dataset": op.dataset,
@@ -322,6 +361,16 @@ class PandaRuntime:
                 for a in op.arrays
             ],
         }
+        relocated = self.relocations.get(op.dataset)
+        if relocated:
+            desc["relocations"] = {
+                str(crashed): [
+                    {"survivor": a.survivor_index, "file": a.file_name,
+                     "nbytes": a.nbytes}
+                    for a in assignments
+                ]
+                for crashed, assignments in sorted(relocated.items())
+            }
         blob = json.dumps(desc, indent=1).encode()
         store = self.filesystems[0].store
         path = f"{op.dataset}.schema"
@@ -361,6 +410,7 @@ class PandaRuntime:
 
         t0 = self.sim.now
         counters_before = COUNTERS.snapshot()
+        self.crashed_servers = set()  # a fresh run repairs every node
         server_procs = []
         for i in range(self.n_io):
             server = PandaServer(
@@ -368,6 +418,11 @@ class PandaRuntime:
                 self.filesystems[i],
             )
             server_procs.append(self.sim.spawn(server.run(), name=f"server{i}"))
+        if self.injector is not None:
+            # fail-stop crashes, times relative to this run's start (a
+            # runtime run several times re-injects them each run)
+            for idx, t in self.config.faults.crashes:
+                self.sim.schedule(t, self._crash_server, idx, server_procs)
         client_procs = []
         for app, ranks in assignments:
             group = tuple(ranks)
@@ -394,11 +449,13 @@ class PandaRuntime:
             # recv, so the run surfaces as an unhandled failure or a
             # deadlock; re-raise the root cause when one exists
             for p in client_procs + server_procs:
-                if p.triggered and p.exception is not None:
+                if (p.triggered and p.exception is not None
+                        and not self._is_injected_crash(p.exception)):
                     raise p.exception from sim_exc
             raise
         for p in client_procs + server_procs:
-            if p.triggered and p.exception is not None:
+            if (p.triggered and p.exception is not None
+                    and not self._is_injected_crash(p.exception)):
                 raise p.exception
         for p in client_procs:
             p.value  # re-raise any client failure with its traceback
@@ -415,6 +472,38 @@ class PandaRuntime:
         # ops are cumulative across runs; report only this run's slice
         result.ops = [o for o in ops if o.start >= t0]
         return result
+
+    # -- fault plumbing -------------------------------------------------------
+    @staticmethod
+    def _is_injected_crash(exc: BaseException) -> bool:
+        """True for the Interrupt a fault-injected node crash throws;
+        recovery handles those, so the run must not re-raise them."""
+        return isinstance(exc, Interrupt) and isinstance(exc.cause, NodeCrash)
+
+    def _crash_server(self, server_index: int, server_procs) -> None:
+        """Scheduled callback: fail-stop kill of one I/O node."""
+        proc = server_procs[server_index]
+        if not proc.is_alive:
+            return
+        self.crashed_servers.add(server_index)
+        self.injector.note_crash(server_index)
+        proc.interrupt(NodeCrash(server_index, self.sim.now))
+        # the failure is expected: observe it so the engine does not
+        # abort the run with "unhandled failure in process serverN"
+        proc.add_callback(lambda p: None)
+
+    def live_servers(self) -> List[int]:
+        """Server indices not crashed in the current run."""
+        return [i for i in range(self.n_io) if i not in self.crashed_servers]
+
+    def record_relocations(self, dataset: str, relocations: Dict[int, tuple]) -> None:
+        """Commit-time update of the relocation table: a clean rewrite
+        of a dataset clears any stale entries; a recovered write
+        records where each crashed index's portion now lives."""
+        if relocations:
+            self.relocations[dataset] = dict(relocations)
+        else:
+            self.relocations.pop(dataset, None)
 
     def _supervisor(self, client_procs, server_procs):
         """Wait for every client, then shut the servers down.  A client

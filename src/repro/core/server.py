@@ -24,11 +24,31 @@ and the file-system service time from the disk model.
 ``config.nonblocking`` switches the write path's piece collection from
 the paper's blocking request/reply pairs to posting all requests first
 (the paper's stated future improvement).
+
+Fault mode (``config.faults`` set -- see :mod:`repro.faults`):
+
+- the SCHEMA broadcast carries a :class:`~repro.core.recovery.
+  SchemaMsg` with degraded-mode directives: server indices whose normal
+  plan portion must be skipped, plus relocated plan portions
+  (:class:`~repro.core.recovery.RecoveryAssignment`) for the survivors
+  to execute;
+- piece exchanges become *reliable*: blocking request/reply pairs with
+  a per-exchange timeout, content-matched replies and bounded
+  exponential-backoff retries (``nonblocking`` is ignored -- a reliable
+  exchange keeps one outstanding request to match its reply against);
+- the master's completion gather doubles as the failure detector: it
+  polls with ``spec.detect_timeout`` and, when an I/O node crashes
+  mid-write, re-partitions the dead server's plan over the survivors
+  (:func:`~repro.core.recovery.partition_recovery`), hands the shares
+  out as RECOVER messages, executes its own share, and records the
+  relocations before committing the dataset.  A mid-*read* crash loses
+  the crashed node's data and raises
+  :class:`~repro.faults.FaultRecoveryError`.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Set, Tuple
 
 import numpy as np
 
@@ -41,6 +61,13 @@ from repro.core.protocol import (
     ServerDone,
     Tags,
 )
+from repro.core.recovery import (
+    RecoverMsg,
+    RecoveryAssignment,
+    SchemaMsg,
+    partition_recovery,
+)
+from repro.faults import FaultRecoveryError
 from repro.fs.filesystem import FileSystem
 from repro.mpi.comm import Communicator
 from repro.mpi.datatypes import DataBlock
@@ -59,6 +86,9 @@ class PandaServer:
         self.server_index = server_index
         self.comm = comm
         self.fs = fs
+        #: fault mode: harden piece exchanges with timeout/retry and run
+        #: the master's gather as a failure detector.
+        self._reliable = runtime.injector is not None
         # per-op accounting for the trace/results
         self.bytes_written = 0
         self.bytes_read = 0
@@ -77,33 +107,75 @@ class PandaServer:
         """The server process: handle collective ops until shutdown."""
         listen = {Tags.REQUEST, Tags.SHUTDOWN} if self.is_master else \
                  {Tags.SCHEMA, Tags.SHUTDOWN}
+        if self._reliable and not self.is_master:
+            listen.add(Tags.RECOVER)
         while True:
             msg = yield from self.comm.recv(tags=listen)
             if msg.tag == Tags.SHUTDOWN:
                 return
-            op: CollectiveOp = msg.payload
+            if msg.tag == Tags.RECOVER:
+                yield from self._serve_recover(msg.payload)
+                continue
+            payload = msg.payload
+            skip: Tuple[int, ...] = ()
+            recoveries: Tuple[RecoveryAssignment, ...] = ()
+            pending_reloc: Dict[int, Tuple[RecoveryAssignment, ...]] = {}
+            handled_crashes: Set[int] = set()
+            if isinstance(payload, SchemaMsg):
+                op = payload.op
+                skip = payload.skip
+                recoveries = payload.recoveries
+            else:
+                op: CollectiveOp = payload
             yield from self.comm.handle()
             if self.is_master:
                 self.runtime.catalog_check(op)
-                yield from self.comm.bcast_send(
-                    self.runtime.server_ranks, Tags.SCHEMA, op
-                )
+                if self._reliable:
+                    skip, recoveries, pending_reloc, handled_crashes = \
+                        self._fault_directives(op)
+                    targets = [self.runtime.server_rank(i)
+                               for i in self.runtime.live_servers()]
+                    yield from self.comm.bcast_send(
+                        targets, Tags.SCHEMA, SchemaMsg(op, skip, recoveries)
+                    )
+                else:
+                    yield from self.comm.bcast_send(
+                        self.runtime.server_ranks, Tags.SCHEMA, op
+                    )
             # independent plan formation
             yield from self.comm.compute(self.comm.spec.plan_formation_overhead)
-            plan = build_server_plan(
-                op, self.server_index, self.runtime.n_io, self.runtime.config
-            )
-            if op.kind == "write":
-                moved = yield from self._execute_write(op, plan)
-            else:
-                moved = yield from self._execute_read(op, plan)
+            moved = 0
+            if self.server_index not in skip:
+                plan = build_server_plan(
+                    op, self.server_index, self.runtime.n_io,
+                    self.runtime.config,
+                )
+                if op.kind == "write":
+                    moved += yield from self._execute_write(op, plan)
+                else:
+                    moved += yield from self._execute_read(op, plan)
+            # relocated plan portions addressed to this server (crashes
+            # known before the op started, or read-back of a dataset
+            # that was recovered at write time)
+            for a in recoveries:
+                if a.survivor_index == self.server_index:
+                    moved += yield from self._execute_assignment(op, a)
             done = ServerDone(op.op_id, self.server_index, moved)
             if self.is_master:
                 if self.runtime.n_io > 1:
-                    yield from self.comm.gather_recv(
-                        self.runtime.server_ranks, Tags.SERVER_DONE
-                    )
+                    if self._reliable:
+                        midop = yield from self._gather_with_detection(
+                            op, handled_crashes
+                        )
+                        pending_reloc.update(midop)
+                    else:
+                        yield from self.comm.gather_recv(
+                            self.runtime.server_ranks, Tags.SERVER_DONE
+                        )
                 if op.kind == "write":
+                    if self._reliable:
+                        self.runtime.record_relocations(op.dataset,
+                                                        pending_reloc)
                     self.runtime.catalog_commit(op)
                 yield from self.comm.send(
                     op.master_client, Tags.OP_DONE, done
@@ -127,14 +199,26 @@ class PandaServer:
     # -- write path ------------------------------------------------------------
     def _execute_write(self, op: CollectiveOp, plan: ServerPlan):
         fh = self.fs.open(plan.file_name, "w")
+        moved = yield from self._write_items(op, fh, plan.items)
+        yield from fh.fsync()
+        fh.close()
+        self.bytes_written += moved
+        return moved
+
+    def _write_items(self, op: CollectiveOp, fh, items: Tuple[SubchunkPlan, ...]):
+        """Gather-and-write the given sub-chunks into ``fh`` (the items'
+        file offsets are contiguous from wherever ``fh`` points, both
+        for a normal plan and for a recovery assignment)."""
         moved = 0
         real = self.runtime.real_payloads
-        for item in plan.items:
+        for item in items:
             spec = op.arrays[item.array_index]
             pieces = self._pieces_of(op, spec, item)
             buf = np.zeros(item.region.shape, dtype=spec.np_dtype) if real else None
             total_runs = 0
-            if self.runtime.config.nonblocking:
+            if self._reliable:
+                replies = yield from self._fetch_reliable(op, item, pieces)
+            elif self.runtime.config.nonblocking:
                 # post every request, then take replies in arrival order
                 for client_rank, region in pieces:
                     req = FetchRequest(op.op_id, item.array_index, region, item.seq)
@@ -172,10 +256,48 @@ class PandaServer:
             yield from fh.write(block)
             moved += item.nbytes
             self.subchunks_processed += 1
-        yield from fh.fsync()
-        fh.close()
-        self.bytes_written += moved
         return moved
+
+    def _fetch_reliable(self, op: CollectiveOp, item: SubchunkPlan,
+                        pieces: List[Tuple[int, Region]]):
+        """Fault-mode piece collection: blocking pairs, each hardened
+        with a timeout and bounded exponential-backoff retries.  The
+        reply must match the outstanding request exactly (op, sub-chunk,
+        region), so a late duplicate from an earlier retry can never be
+        taken for the current piece; duplicates the *client* sees are
+        idempotent and simply re-answered."""
+        injector = self.runtime.injector
+        spec = injector.spec
+        replies = []
+        for client_rank, region in pieces:
+            req = FetchRequest(op.op_id, item.array_index, region, item.seq)
+            attempt = 0
+            while True:
+                yield from self.comm.send(client_rank, Tags.FETCH, req)
+                msg = yield from self.comm.recv(
+                    src=client_rank, tag=Tags.DATA,
+                    match=lambda m, _r=region: (
+                        m.payload.op_id == op.op_id
+                        and m.payload.subchunk_seq == item.seq
+                        and m.payload.region == _r
+                    ),
+                    timeout=injector.backoff_timeout(attempt),
+                )
+                if msg is not None:
+                    replies.append(msg)
+                    break
+                attempt += 1
+                if attempt > spec.max_retries:
+                    raise FaultRecoveryError(
+                        f"server {self.server_index}: no data from rank "
+                        f"{client_rank} for sub-chunk {item.seq} after "
+                        f"{spec.max_retries} retries"
+                    )
+                injector.note_retry(
+                    "fetch", server=self.server_index, client=client_rank,
+                    seq=item.seq, attempt=attempt,
+                )
+        return replies
 
     # -- read path ---------------------------------------------------------------
     def _execute_read(self, op: CollectiveOp, plan: ServerPlan):
@@ -186,9 +308,16 @@ class PandaServer:
                 f"{op.dataset!r} was never written?)"
             )
         fh = self.fs.open(plan.file_name, "r")
+        moved = yield from self._read_items(op, fh, plan.items)
+        fh.close()
+        self.bytes_read += moved
+        return moved
+
+    def _read_items(self, op: CollectiveOp, fh, items: Tuple[SubchunkPlan, ...]):
+        """Read-and-scatter the given sub-chunks out of ``fh``."""
         moved = 0
         real = self.runtime.real_payloads
-        for item in plan.items:
+        for item in items:
             spec = op.arrays[item.array_index]
             if fh.offset != item.file_offset:
                 fh.seek(item.file_offset)
@@ -211,10 +340,219 @@ class PandaServer:
                     pblock = DataBlock.virtual(nbytes)
                 piece = PieceData(op.op_id, item.array_index, region, pblock,
                                   item.seq)
-                yield from self.comm.send(client_rank, Tags.PIECE, piece,
-                                          nbytes=nbytes)
+                if self._reliable:
+                    yield from self._scatter_reliable(op, item, client_rank,
+                                                      region, piece, nbytes)
+                else:
+                    yield from self.comm.send(client_rank, Tags.PIECE, piece,
+                                              nbytes=nbytes)
             moved += item.nbytes
             self.subchunks_processed += 1
-        fh.close()
-        self.bytes_read += moved
         return moved
+
+    def _scatter_reliable(self, op: CollectiveOp, item: SubchunkPlan,
+                          client_rank: int, region: Region,
+                          piece: PieceData, nbytes: int):
+        """Fault-mode piece delivery: resend until the client's
+        PIECE_ACK for this exact piece arrives.  A duplicate delivery
+        re-injects the same bytes at the same place -- idempotent -- and
+        is re-acknowledged."""
+        injector = self.runtime.injector
+        spec = injector.spec
+        attempt = 0
+        while True:
+            yield from self.comm.send(client_rank, Tags.PIECE, piece,
+                                      nbytes=nbytes)
+            ack = yield from self.comm.recv(
+                src=client_rank, tag=Tags.PIECE_ACK,
+                match=lambda m, _r=region: (
+                    m.payload.op_id == op.op_id
+                    and m.payload.subchunk_seq == item.seq
+                    and m.payload.region == _r
+                ),
+                timeout=injector.backoff_timeout(attempt),
+            )
+            if ack is not None:
+                return
+            attempt += 1
+            if attempt > spec.max_retries:
+                raise FaultRecoveryError(
+                    f"server {self.server_index}: no ack from rank "
+                    f"{client_rank} for sub-chunk {item.seq} after "
+                    f"{spec.max_retries} retries"
+                )
+            injector.note_retry(
+                "piece", server=self.server_index, client=client_rank,
+                seq=item.seq, attempt=attempt,
+            )
+
+    # -- recovery ---------------------------------------------------------------
+    def _execute_assignment(self, op: CollectiveOp, a: RecoveryAssignment):
+        """Execute one relocated plan portion against this server's
+        recovery file for it (write: gather from the clients and write;
+        read: read and scatter)."""
+        if op.kind == "write":
+            fh = self.fs.open(a.file_name, "w")
+            moved = yield from self._write_items(op, fh, a.items)
+            yield from fh.fsync()
+            fh.close()
+            self.bytes_written += moved
+        else:
+            fh = self.fs.open(a.file_name, "r")
+            moved = yield from self._read_items(op, fh, a.items)
+            fh.close()
+            self.bytes_read += moved
+        return moved
+
+    def _serve_recover(self, rmsg: RecoverMsg):
+        """Non-master: execute a mid-op recovery assignment handed over
+        by the master's failure detector, then report it separately
+        (``recovery=True``) so the master's two gathers stay apart."""
+        yield from self.comm.handle()
+        moved = yield from self._execute_assignment(rmsg.op, rmsg.assignment)
+        done = ServerDone(rmsg.op.op_id, self.server_index, moved,
+                          recovery=True)
+        yield from self.comm.send(
+            self.runtime.master_server_rank, Tags.SERVER_DONE, done
+        )
+
+    def _fault_directives(self, op: CollectiveOp):
+        """Master-only: degraded-mode directives for an op that starts
+        with crashes already on the books.
+
+        Writes: skip every crashed server and re-partition its portion
+        over the survivors (clients still hold the source data, so the
+        whole portion is simply re-gathered).  Reads: route portions
+        relocated at write time to the recovery files that hold them;
+        data whose only copy is on a crashed node is unreachable.
+
+        Returns ``(skip, recoveries, pending_relocations, crashed)``.
+        """
+        rt = self.runtime
+        crashed = set(rt.crashed_servers)
+        if op.kind == "write":
+            pending: Dict[int, Tuple[RecoveryAssignment, ...]] = {}
+            recoveries: List[RecoveryAssignment] = []
+            survivors = rt.live_servers()
+            for k in sorted(crashed):
+                assignments = partition_recovery(op, k, survivors, rt.n_io,
+                                                 rt.config)
+                if not assignments:
+                    continue  # the crashed server's plan was empty
+                recoveries.extend(assignments)
+                pending[k] = assignments
+                rt.injector.note_recovery(
+                    "upfront", op.dataset, k,
+                    tuple(a.survivor_index for a in assignments),
+                    sum(a.nbytes for a in assignments),
+                )
+            return tuple(sorted(crashed)), tuple(recoveries), pending, crashed
+        stored = rt.relocations.get(op.dataset, {})
+        for k in sorted(crashed):
+            if k in stored:
+                continue  # relocated at write time: survivors hold it
+            plan = build_server_plan(op, k, rt.n_io, rt.config)
+            if plan.items:
+                raise FaultRecoveryError(
+                    f"dataset {op.dataset!r}: server {k}'s portion is on a "
+                    "crashed node and was never relocated; the data is "
+                    "unreachable until the node is repaired"
+                )
+        recoveries = []
+        for k, assignments in sorted(stored.items()):
+            for a in assignments:
+                if a.survivor_index in crashed:
+                    raise FaultRecoveryError(
+                        f"dataset {op.dataset!r}: the recovered portion of "
+                        f"server {a.crashed_index} lives on server "
+                        f"{a.survivor_index}, which is itself crashed"
+                    )
+            recoveries.extend(assignments)
+        skip = tuple(sorted(set(stored) | crashed))
+        return skip, tuple(recoveries), {}, crashed
+
+    def _gather_with_detection(self, op: CollectiveOp, handled: Set[int]):
+        """Master-only: gather ordinary completions, polling the failure
+        detector every ``detect_timeout``.  The simulation grants a
+        perfect detector (``runtime.crashed_servers``), so a slow server
+        is never declared dead -- a timeout alone proves nothing.
+        Returns the mid-op relocations {crashed index: assignments}."""
+        rt = self.runtime
+        spec = rt.injector.spec
+        handled = set(handled)
+        expected = {i for i in range(1, rt.n_io) if i not in handled}
+        done: Set[int] = set()
+        pending: Dict[int, Tuple[RecoveryAssignment, ...]] = {}
+        while expected - done:
+            msg = yield from self.comm.recv(
+                tag=Tags.SERVER_DONE,
+                match=lambda m: (m.payload.op_id == op.op_id
+                                 and not m.payload.recovery),
+                timeout=spec.detect_timeout,
+            )
+            if msg is not None:
+                done.add(msg.payload.server_index)
+                continue
+            for k in sorted(rt.crashed_servers - handled):
+                handled.add(k)
+                expected.discard(k)
+                if k in done:
+                    # finished before dying: its file is complete but
+                    # unreachable until the node is repaired (next run)
+                    continue
+                if op.kind == "read":
+                    raise FaultRecoveryError(
+                        f"server {k} crashed while scattering dataset "
+                        f"{op.dataset!r}; its unsent pieces are unreachable"
+                    )
+                assignments = yield from self._recover_midop(op, k)
+                if assignments:
+                    pending[k] = assignments
+        return pending
+
+    def _recover_midop(self, op: CollectiveOp, k: int):
+        """Master-only: re-partition crashed server ``k``'s plan over
+        the survivors, hand out the shares, execute its own, and wait
+        for the survivors' recovery completions."""
+        rt = self.runtime
+        injector = rt.injector
+        survivors = rt.live_servers()
+        assignments = partition_recovery(op, k, survivors, rt.n_io, rt.config)
+        if not assignments:
+            return ()
+        injector.note_recovery(
+            "midop", op.dataset, k,
+            tuple(a.survivor_index for a in assignments),
+            sum(a.nbytes for a in assignments),
+        )
+        waiting: Set[int] = set()
+        for a in assignments:
+            if a.survivor_index == self.server_index:
+                continue
+            yield from self.comm.send(
+                rt.server_rank(a.survivor_index), Tags.RECOVER,
+                RecoverMsg(op, a),
+            )
+            waiting.add(a.survivor_index)
+        for a in assignments:
+            if a.survivor_index == self.server_index:
+                yield from self._execute_assignment(op, a)
+        while waiting:
+            msg = yield from self.comm.recv(
+                tag=Tags.SERVER_DONE,
+                match=lambda m: (m.payload.op_id == op.op_id
+                                 and m.payload.recovery),
+                timeout=injector.spec.detect_timeout,
+            )
+            if msg is not None:
+                waiting.discard(msg.payload.server_index)
+                continue
+            dead = rt.crashed_servers & waiting
+            if dead:
+                raise FaultRecoveryError(
+                    f"server(s) {sorted(dead)} crashed while recovering "
+                    f"server {k}'s portion of {op.dataset!r}; double faults "
+                    "during recovery are not survivable"
+                )
+            # crashes elsewhere are left for the outer gather to handle
+        return assignments

@@ -30,6 +30,13 @@ class PerfCounters:
         "plan_cache_misses",
         "geom_cache_hits",
         "geom_cache_misses",
+        "faults_injected",
+        "disk_faults",
+        "messages_dropped",
+        "messages_delayed",
+        "fault_retries",
+        "server_crashes",
+        "recoveries",
     )
 
     def __init__(self) -> None:
@@ -50,6 +57,16 @@ class PerfCounters:
         #: Region.contiguous_runs_within memos
         self.geom_cache_hits = 0
         self.geom_cache_misses = 0
+        #: fault injection (see :mod:`repro.faults`): total injected
+        #: faults and the per-kind breakdown, plus the recovery work
+        #: (protocol/disk retries, crash recoveries) they triggered.
+        self.faults_injected = 0
+        self.disk_faults = 0
+        self.messages_dropped = 0
+        self.messages_delayed = 0
+        self.fault_retries = 0
+        self.server_crashes = 0
+        self.recoveries = 0
 
     def snapshot(self) -> dict:
         return {name: getattr(self, name) for name in self.__slots__}

@@ -32,7 +32,6 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.fs.disk import DiskModel
-from repro.fs.store import ExtentStore, MemoryStore
 from repro.machine import MachineSpec
 from repro.sim import Simulator
 from repro.sim.trace import Trace

@@ -39,11 +39,15 @@ class DiskModel:
         spec: MachineSpec,
         node: str = "disk",
         trace: Optional[Trace] = None,
+        injector=None,
     ) -> None:
         self.sim = sim
         self.spec = spec
         self.node = node
         self.trace = trace
+        #: optional :class:`repro.faults.FaultInjector`; when set, each
+        #: request may fail transiently (see :meth:`access`).
+        self.injector = injector
         self.arm = Resource(sim, 1, name=f"{node}.arm")
         self._head: Optional[Tuple[str, int]] = None  # (path, next offset)
         # accounting
@@ -58,9 +62,31 @@ class DiskModel:
 
     def access(self, path: str, offset: int, nbytes: int, *, write: bool):
         """Process helper: perform one timed request.  Holds the disk
-        arm for the full service time."""
+        arm for the full service time.
+
+        Under fault injection a request may fail transiently: it costs
+        the per-request overhead (the arm moved, no data streamed),
+        leaves the head position unknown, and raises
+        :class:`~repro.faults.TransientDiskError` -- the caller's retry
+        loop (:class:`repro.fs.filesystem.FileHandle`) takes it from
+        there."""
         yield self.arm.acquire()
         try:
+            if self.injector is not None and self.injector.disk_fault(self.node):
+                from repro.faults import TransientDiskError
+
+                # one unit of per-request overhead, no data streamed
+                # (zero in fast_disk mode, like every other fs cost)
+                t = self.spec.fs_time(1, write=write, sequential=True)
+                if t > 0:
+                    yield self.sim.timeout(t)
+                self.requests += 1
+                self.busy_seconds += t
+                self._head = None
+                raise TransientDiskError(
+                    f"{self.node}: transient {'write' if write else 'read'} "
+                    f"error at {path!r}+{offset}"
+                )
             sequential = self.is_sequential(path, offset)
             t = self.spec.fs_time(nbytes, write=write, sequential=sequential)
             if t > 0:

@@ -32,13 +32,19 @@ class FileSystem:
         node: str = "ionode",
         real: bool = True,
         trace: Optional[Trace] = None,
+        injector=None,
     ) -> None:
         self.sim = sim
         self.spec = spec
         self.node = node
         self.trace = trace
+        #: optional :class:`repro.faults.FaultInjector`: transient disk
+        #: faults are injected in the disk model and retried (with
+        #: exponential backoff, up to the spec's budget) in FileHandle.
+        self.injector = injector
         self.store = MemoryStore() if real else ExtentStore()
-        self.disk = DiskModel(sim, spec, node=f"{node}.disk", trace=trace)
+        self.disk = DiskModel(sim, spec, node=f"{node}.disk", trace=trace,
+                              injector=injector)
 
     @property
     def real(self) -> bool:
@@ -104,6 +110,37 @@ class FileHandle:
             raise ValueError("negative seek")
         self.offset = offset
 
+    def _access(self, offset: int, nbytes: int, *, write: bool):
+        """One disk request, retried with exponential backoff on
+        transient faults (fault-injected file systems only).  The store
+        is untouched until a request succeeds, so replays are safe."""
+        disk = self.fs.disk
+        injector = self.fs.injector
+        if injector is None:
+            yield from disk.access(self.path, offset, nbytes, write=write)
+            return
+        from repro.faults import FaultRecoveryError, TransientDiskError
+
+        spec = injector.spec
+        attempt = 0
+        while True:
+            try:
+                yield from disk.access(self.path, offset, nbytes, write=write)
+                return
+            except TransientDiskError as exc:
+                attempt += 1
+                if attempt > spec.max_retries:
+                    raise FaultRecoveryError(
+                        f"{self.fs.node}: {'write' if write else 'read'} of "
+                        f"{nbytes}B at {self.path!r}+{offset} still failing "
+                        f"after {spec.max_retries} retries"
+                    ) from exc
+                injector.note_retry(
+                    "disk", node=self.fs.node, path=self.path,
+                    offset=offset, attempt=attempt,
+                )
+                yield self.fs.sim.timeout(injector.backoff_delay(attempt))
+
     def write(self, block: DataBlock):
         """Write ``block`` at the current offset (timed).  The block's
         bytes are handed to the store as a read-only view (no
@@ -115,7 +152,7 @@ class FileHandle:
             raise ValueError(
                 "real file system requires real payloads (got virtual block)"
             )
-        yield from self.fs.disk.access(self.path, self.offset, block.nbytes, write=True)
+        yield from self._access(self.offset, block.nbytes, write=True)
         self.fs.store.write(self.path, self.offset, data, block.nbytes)
         self.offset += block.nbytes
         self.bytes_written += block.nbytes
@@ -127,7 +164,7 @@ class FileHandle:
         ``frombuffer``, no byte duplication, and mutation-proof because
         the view is read-only."""
         self._check_open(write=False)
-        yield from self.fs.disk.access(self.path, self.offset, nbytes, write=False)
+        yield from self._access(self.offset, nbytes, write=False)
         raw = self.fs.store.read(self.path, self.offset, nbytes)
         self.offset += nbytes
         self.bytes_read += nbytes

@@ -16,7 +16,7 @@ with the same argument list, and yields from it.  The root is
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.mpi.comm import Communicator
 

@@ -15,7 +15,7 @@ non-blocking variant the paper names as future work.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from repro.mpi.message import CONTROL_MESSAGE_BYTES, MESSAGE_HEADER_BYTES, Message
 from repro.mpi.network import Network
@@ -69,10 +69,20 @@ class Communicator:
         yield from self.network.transfer(self.rank, dst, tag, payload, wire)
 
     def recv(self, src: Optional[int] = None, tag: Optional[int] = None,
-             tags: Optional[Iterable[int]] = None):
+             tags: Optional[Iterable[int]] = None,
+             match: Optional[Callable[[Message], bool]] = None,
+             timeout: Optional[float] = None):
         """Blocking receive.  Matches on source and/or tag; ``tags``
         accepts any of a set (used by serve loops that listen for both
-        data and completion messages).  FIFO among matches."""
+        data and completion messages).  FIFO among matches.
+
+        ``match`` further filters on message content (the reliability
+        layer matches replies to the exact outstanding request, so a
+        stale duplicate from a retried exchange can never be taken for
+        the current one).  With ``timeout``, returns ``None`` when no
+        matching message arrives within ``timeout`` seconds; the
+        pending receive is withdrawn so a late message stays in the
+        mailbox for a future receive instead of vanishing."""
         if tag is not None and tags is not None:
             raise ValueError("pass either tag or tags, not both")
         tagset = frozenset(tags) if tags is not None else None
@@ -84,10 +94,24 @@ class Communicator:
                 return False
             if tagset is not None and msg.tag not in tagset:
                 return False
+            if match is not None and not match(msg):
+                return False
             return True
 
-        msg = yield self.network.mailboxes[self.rank].get(pred)
-        return msg
+        mailbox = self.network.mailboxes[self.rank]
+        if timeout is None:
+            msg = yield mailbox.get(pred)
+            return msg
+        get_ev = mailbox.get(pred)
+        idx, value = yield self.sim.any_of([get_ev, self.sim.timeout(timeout)])
+        if idx == 0:
+            return value
+        if get_ev.triggered:
+            # the message raced the timeout within the same instant and
+            # was already consumed from the mailbox: deliver it
+            return get_ev.value
+        mailbox.cancel(get_ev)
+        return None
 
     def probe_pending(self) -> int:
         """Number of undelivered messages in this rank's mailbox."""

@@ -37,6 +37,7 @@ class Network:
         spec: MachineSpec,
         n_nodes: int,
         trace: Optional[Trace] = None,
+        injector=None,
     ) -> None:
         if n_nodes < 1:
             raise ValueError("network needs at least one node")
@@ -44,6 +45,9 @@ class Network:
         self.spec = spec
         self.n_nodes = n_nodes
         self.trace = trace
+        #: optional :class:`repro.faults.FaultInjector`; when set, each
+        #: delivery may be dropped (droppable tags only) or delayed.
+        self.injector = injector
         self.out_links = [
             Resource(sim, 1, name=f"out[{i}]") for i in range(n_nodes)
         ]
@@ -72,9 +76,21 @@ class Network:
         if nbytes < 0:
             raise ValueError("message size must be >= 0")
         sim = self.sim
-        yield self.out_links[src].acquire()
+        out_ev = self.out_links[src].acquire()
         try:
-            yield self.in_links[dst].acquire()
+            yield out_ev
+        except BaseException:
+            # interrupted (node crash) while queued: withdraw so the
+            # dead process cannot be granted -- and forever pin -- a slot
+            self.out_links[src].cancel(out_ev)
+            raise
+        try:
+            in_ev = self.in_links[dst].acquire()
+            try:
+                yield in_ev
+            except BaseException:
+                self.in_links[dst].cancel(in_ev)
+                raise
             try:
                 transfer_time = nbytes / self.spec.network_bandwidth
                 if transfer_time > 0:
@@ -85,10 +101,18 @@ class Network:
             self.out_links[src].release()
         self.messages_sent += 1
         self.bytes_sent += nbytes
+        extra = 0.0
+        if self.injector is not None:
+            dropped, extra = self.injector.message_fault(src, dst, tag, nbytes)
+            if dropped:
+                # the sender already paid for the transfer; the message
+                # vanishes in flight, so the delivery event never fires
+                # and the receiver's timeout/retry machinery takes over
+                return Event(sim, "dropped")
         # static name: one transfer per message makes per-delivery
         # f-strings measurable; src/dst are recoverable from the Message
         delivered = Event(sim, "delivery")
-        sim.schedule(self.spec.network_latency, self._deliver, src, dst, tag, payload, nbytes, delivered)
+        sim.schedule(self.spec.network_latency + extra, self._deliver, src, dst, tag, payload, nbytes, delivered)
         return delivered
 
     def _deliver(self, src: int, dst: int, tag: int, payload: Any, nbytes: int, delivered: Event) -> None:
@@ -97,7 +121,7 @@ class Network:
         if self.trace is not None:
             self.trace.emit(
                 self.sim.now,
-                f"net",
+                "net",
                 "message",
                 src=src,
                 dst=dst,

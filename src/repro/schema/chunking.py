@@ -18,7 +18,7 @@ from itertools import product
 from typing import Iterator, List, Sequence, Tuple, Union
 
 from repro.counters import COUNTERS
-from repro.schema.distribution import BLOCK, Dist, block_span, parse_dist
+from repro.schema.distribution import Dist, block_span, parse_dist
 from repro.schema.layout import Mesh
 from repro.schema.regions import Region
 

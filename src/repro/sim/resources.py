@@ -89,6 +89,18 @@ class Resource:
             self._in_use += 1
             self._waiters.popleft().succeed(self)
 
+    def cancel(self, ev: Event) -> None:
+        """Withdraw a pending acquisition (e.g. the waiter was
+        interrupted by a fault-injected node crash).  If the slot was
+        already granted -- the grant can race the interrupt within one
+        instant -- it is released instead, so a dead process can never
+        pin a shared resource."""
+        try:
+            self._waiters.remove(ev)
+        except ValueError:
+            if ev.triggered:
+                self.release()
+
     def serve(self, service_time: float) -> Generator[Event, Any, None]:
         """Process helper: acquire, hold for ``service_time``, release."""
         yield self.acquire()
@@ -131,6 +143,16 @@ class Store:
     def peek_all(self) -> list[Any]:
         """Snapshot of queued items (for diagnostics)."""
         return list(self._items)
+
+    def cancel(self, ev: Event) -> None:
+        """Withdraw a pending getter (e.g. a receive that timed out).
+        Without this, a later matching item would be consumed by -- and
+        lost to -- an event nobody waits on any more.  No-op when the
+        getter was already satisfied or never registered."""
+        for idx, (pending, _pred) in enumerate(self._getters):
+            if pending is ev:
+                del self._getters[idx]
+                return
 
     def _dispatch(self) -> None:
         # repeatedly satisfy the oldest getter that has a matching item

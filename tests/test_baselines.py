@@ -13,7 +13,6 @@ from repro.baselines import (
 )
 from repro.baselines.two_phase import conforming_segment, transfer_matrix
 from repro.core import Array, ArrayLayout
-from repro.machine import MB
 from repro.schema import BLOCK, NONE
 from repro.workloads import distribute, make_global_array
 

@@ -13,7 +13,7 @@ from repro.bench import (
     shape_for_mb,
 )
 from repro.bench.harness import build_array
-from repro.machine import MB, NAS_SP2, sp2
+from repro.machine import MB, NAS_SP2
 
 
 # --- experiment definitions --------------------------------------------------

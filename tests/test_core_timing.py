@@ -7,8 +7,8 @@ import pytest
 from repro.bench.harness import run_panda_point
 from repro.core import Array, ArrayLayout, PandaConfig, PandaRuntime
 from repro.machine import MB, NAS_SP2, sp2
-from repro.schema import BLOCK, NONE
-from repro.workloads import mesh_for, read_array_app, write_array_app
+from repro.schema import BLOCK
+from repro.workloads import mesh_for, write_array_app
 
 
 def point(kind="write", n_cn=8, n_io=2, shape=(64, 64, 64), **kw):

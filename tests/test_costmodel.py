@@ -1,18 +1,15 @@
 """Tests for the analytic cost model: structure, and agreement with the
 simulator across schemas, sizes, node counts and disk modes."""
 
-import numpy as np
 import pytest
 
 from repro.bench.harness import build_array, run_panda_point
 from repro.core import PandaConfig
 from repro.core.costmodel import (
-    CostBreakdown,
     best_disk_schema,
     predict_arrays,
 )
 from repro.machine import MB, NAS_SP2, sp2
-from repro.workloads import mesh_for
 
 
 def simulated_and_predicted(kind, n_cn, n_io, shape, disk_schema="natural",

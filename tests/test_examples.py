@@ -3,7 +3,6 @@ itself (each example contains its own assertions)."""
 
 import pathlib
 import runpy
-import sys
 
 import pytest
 

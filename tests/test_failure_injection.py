@@ -5,8 +5,7 @@ corruption."""
 import numpy as np
 import pytest
 
-from repro.core import Array, ArrayGroup, ArrayLayout, BLOCK, PandaConfig, PandaRuntime
-from repro.sim import SimulationError
+from repro.core import Array, ArrayGroup, ArrayLayout, BLOCK, PandaRuntime
 from repro.workloads import distribute, make_global_array, write_array_app
 
 

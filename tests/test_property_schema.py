@@ -7,7 +7,7 @@ spans, and run analysis agrees with brute force.
 """
 
 import numpy as np
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.schema import (
     BLOCK,

@@ -11,7 +11,6 @@ from repro.core import (
     ArrayGroup,
     ArrayLayout,
     BLOCK,
-    NONE,
     PandaConfig,
     PandaRuntime,
 )

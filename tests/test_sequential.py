@@ -4,7 +4,7 @@ and the paper's section-1 locality claim."""
 import numpy as np
 import pytest
 
-from repro.core.sequential import AccessStats, SequentialPanda, row_major_schema
+from repro.core.sequential import SequentialPanda, row_major_schema
 from repro.machine import sp2
 from repro.schema import DataSchema, Region
 from repro.workloads import make_global_array

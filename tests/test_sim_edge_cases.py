@@ -6,7 +6,6 @@ import pytest
 from repro.sim import (
     AllOf,
     AnyOf,
-    Event,
     Interrupt,
     Resource,
     SimulationError,

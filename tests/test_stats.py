@@ -1,13 +1,11 @@
 """Tests for post-run utilization statistics."""
 
-import numpy as np
-import pytest
 
 from repro.baselines import BaselineRuntime, run_naive_striping
 from repro.bench.harness import build_array
 from repro.bench.stats import utilization
 from repro.core import PandaRuntime
-from repro.machine import MB, sp2
+from repro.machine import sp2
 from repro.workloads import write_array_app
 
 

@@ -1,6 +1,5 @@
 """Tests for the disk-activity timeline rendering."""
 
-import numpy as np
 
 from repro.bench.harness import build_array
 from repro.bench.timeline import activity_spans, disk_timeline
