@@ -17,17 +17,33 @@ from repro.bench import (
     PointResult,
     format_figure,
     run_figure,
+    run_traced_point,
 )
 
 _cache: Dict[str, Dict[int, Dict[int, PointResult]]] = {}
 
 
+def figure_verdict(exp: Experiment) -> str:
+    """The critical-path bottleneck verdict for one representative
+    (smallest) point of the figure, from a traced re-run."""
+    _result, report = run_traced_point(
+        exp.kind, exp.n_compute, exp.ionodes[0], exp.shape(exp.sizes_mb[0]),
+        disk_schema=exp.disk_schema, fast_disk=exp.fast_disk,
+    )
+    return (
+        f"{exp.figure} bottleneck ({exp.sizes_mb[0]} MB, "
+        f"{exp.ionodes[0]} ION): {report.verdict_line()}"
+    )
+
+
 def figure_grid(figure: str) -> Dict[int, Dict[int, PointResult]]:
-    """Run (once per session) and publish a figure's full grid."""
+    """Run (once per session) and publish a figure's full grid, plus
+    the observability layer's bottleneck verdict for the figure."""
     if figure not in _cache:
         exp = EXPERIMENTS[figure]
         grid = run_figure(exp)
         publish(format_figure(figure, exp.title, grid))
+        publish(figure_verdict(exp))
         _cache[figure] = grid
     return _cache[figure]
 

@@ -17,7 +17,12 @@ from repro.bench.experiments import (
     experiment,
     shape_for_mb,
 )
-from repro.bench.harness import PointResult, run_panda_point, run_figure
+from repro.bench.harness import (
+    PointResult,
+    run_figure,
+    run_panda_point,
+    run_traced_point,
+)
 from repro.bench.report import format_figure, format_rows
 
 __all__ = [
@@ -29,5 +34,6 @@ __all__ = [
     "format_rows",
     "run_figure",
     "run_panda_point",
+    "run_traced_point",
     "shape_for_mb",
 ]

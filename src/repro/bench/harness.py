@@ -27,7 +27,7 @@ from repro.schema.distribution import BLOCK, NONE
 from repro.workloads.apps import read_array_app, write_array_app
 from repro.workloads.arrays import mesh_for
 
-__all__ = ["PointResult", "run_panda_point", "run_figure"]
+__all__ = ["PointResult", "run_panda_point", "run_traced_point", "run_figure"]
 
 
 @dataclass(frozen=True)
@@ -124,6 +124,46 @@ def run_panda_point(
         array_bytes=op.total_bytes, disk_schema=disk_schema,
         fast_disk=fast_disk, elapsed=op.elapsed, n_arrays=n_arrays,
     )
+
+
+def run_traced_point(
+    kind: str,
+    n_compute: int,
+    n_io: int,
+    shape: Tuple[int, ...],
+    disk_schema: str = "natural",
+    fast_disk: bool = False,
+    spec: MachineSpec = NAS_SP2,
+    config: Optional[PandaConfig] = None,
+    registry=None,
+):
+    """Run one collective like :func:`run_panda_point`, but traced and
+    analyzed: returns ``(RunResult, CriticalPathReport)`` for the
+    *timed* run (the read-priming write is traced too but excluded
+    from the analysis window).  Pass a
+    :class:`~repro.obs.metrics.MetricsRegistry` to also collect
+    resource-occupancy series over both runs."""
+    from repro.obs.critical_path import analyze
+    from repro.obs.metrics import attach
+
+    if kind not in ("read", "write"):
+        raise ValueError(f"bad kind {kind!r}")
+    machine = spec.evolve(fast_disk=fast_disk)
+    arrays = [build_array(shape, n_compute, n_io, disk_schema)]
+    runtime = PandaRuntime(
+        n_compute=n_compute, n_io=n_io, spec=machine,
+        config=config or PandaConfig(), real_payloads=False, trace=True,
+    )
+    if registry is not None:
+        attach(runtime, registry)
+    runtime.run(write_array_app(arrays, "bench"))
+    if kind == "write":
+        result = runtime.run(write_array_app(arrays, "bench"))
+    else:
+        result = runtime.run(read_array_app(arrays, "bench"))
+    t_end = runtime.sim.now
+    report = analyze(result.trace, t0=t_end - result.elapsed, t_end=t_end)
+    return result, report
 
 
 def run_figure(exp, spec: MachineSpec = NAS_SP2,

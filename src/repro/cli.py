@@ -8,6 +8,8 @@ Usage::
     python -m repro predict --kind write --compute 16 --io 4 \\
         --size-mb 64 --schema traditional    # analytic cost model
     python -m repro compare --size-mb 16     # strategy comparison
+    python -m repro trace --figure fig3 --size-mb 16 \\
+        --out panda-trace.json               # Perfetto trace + verdict
 
 Everything prints the same tables the benchmark suite publishes to
 ``benchmarks/results.txt``.
@@ -25,6 +27,7 @@ from repro.bench import (
     format_figure,
     run_figure,
     run_panda_point,
+    run_traced_point,
     shape_for_mb,
 )
 from repro.bench.harness import build_array
@@ -173,6 +176,44 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import observe_trace, write_chrome_trace
+    from repro.obs.metrics import MetricsRegistry
+
+    exp = EXPERIMENTS.get(args.figure)
+    if exp is None:
+        print(f"unknown figure {args.figure!r}; known: {sorted(EXPERIMENTS)}",
+              file=sys.stderr)
+        return 2
+    n_io = args.io if args.io is not None else exp.ionodes[0]
+    if n_io not in exp.ionodes:
+        print(f"{args.figure} uses {exp.ionodes} I/O nodes, not {n_io}",
+              file=sys.stderr)
+        return 2
+    registry = MetricsRegistry()
+    result, report = run_traced_point(
+        exp.kind, exp.n_compute, n_io, exp.shape(args.size_mb),
+        disk_schema=exp.disk_schema, fast_disk=exp.fast_disk,
+        registry=registry,
+    )
+    print(f"traced {exp.kind} of {args.size_mb} MB "
+          f"({args.figure}: {exp.title}; {exp.n_compute} CN / {n_io} ION)\n")
+    print(result.describe())
+    print()
+    print(report.render())
+    t_end = result.runtime.sim.now
+    write_chrome_trace(result.trace, args.out,
+                       t0=t_end - result.elapsed, t_end=t_end)
+    print(f"\nwrote {args.out} "
+          f"(load at https://ui.perfetto.dev or chrome://tracing)")
+    if args.metrics:
+        observe_trace(result.trace, registry)
+        with open(args.metrics, "w") as f:
+            f.write(registry.render())
+        print(f"wrote {args.metrics}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -207,6 +248,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--compute", type=int, default=8)
     p_cmp.add_argument("--io", type=int, default=4)
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_tr = sub.add_parser(
+        "trace",
+        help="run one traced figure point; export Perfetto JSON, a "
+             "metrics snapshot and the critical-path verdict",
+    )
+    p_tr.add_argument("--figure", default="fig3", help="fig3 ... fig9")
+    p_tr.add_argument("--size-mb", type=int, default=16)
+    p_tr.add_argument("--io", type=int, default=None,
+                      help="I/O nodes (default: the figure's smallest)")
+    p_tr.add_argument("--out", default="panda-trace.json",
+                      help="Chrome trace-event JSON output path")
+    p_tr.add_argument("--metrics", default="panda-metrics.txt",
+                      help="Prometheus-style metrics snapshot path "
+                           "('' to skip)")
+    p_tr.set_defaults(func=cmd_trace)
 
     return parser
 

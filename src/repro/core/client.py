@@ -72,12 +72,19 @@ class PandaClient:
         #: dropped deliveries (see repro.faults); duplicate PIECEs from
         #: retries are idempotent re-injections.
         self._reliable = runtime.injector is not None
+        self._src = f"client{rank}"
         #: persistent per-rank state: op serial, group counters, bound data
         self._state = state
         state.setdefault("op_serial", 0)
         state.setdefault("counters", {})
         state.setdefault("checkpoints", {})
         state.setdefault("data", {})
+
+    def _mark(self, kind: str, /, **detail) -> None:
+        """Emit an observability trace record (no-op when untraced)."""
+        trace = self.runtime.trace
+        if trace is not None:
+            trace.emit(self.comm.sim.now, self._src, kind, **detail)
 
     # -- application-facing state ------------------------------------------
     @property
@@ -179,6 +186,7 @@ class PandaClient:
                         f"before collective {kind}"
                     )
         self.runtime.oplog.enter(self.rank, op, self.comm.sim.now, schema_file)
+        self._mark("cli_op_start", op_id=op.op_id, kind=kind)
         # op setup cost on every client
         yield from self.comm.handle()
         if self.is_master:
@@ -194,12 +202,14 @@ class PandaClient:
             yield from self.comm.bcast_send(
                 self.group_ranks, Tags.CLIENT_DONE, op.op_id
             )
+        self._mark("cli_op_done", op_id=op.op_id, kind=kind)
         self.runtime.oplog.leave(self.rank, op, self.comm.sim.now)
         return op.op_id
 
     # -- write path: answer fetch requests ------------------------------------
     def _serve_write(self, op: CollectiveOp):
         done_tag = Tags.OP_DONE if self.is_master else Tags.CLIENT_DONE
+        trace = self.runtime.trace
         while True:
             msg = yield from self.comm.recv(tags={Tags.FETCH, done_tag})
             if msg.tag == done_tag:
@@ -214,6 +224,7 @@ class PandaClient:
                     f"rank {self.rank}: fetch for op {req.op_id} during op "
                     f"{op.op_id}"
                 )
+            t0 = self.comm.sim.now if trace is not None else 0.0
             yield from self.comm.handle()
             spec = op.arrays[req.array_index]
             chunk_region = self._my_chunk_region(spec)
@@ -231,10 +242,14 @@ class PandaClient:
             piece = PieceData(op.op_id, req.array_index, req.region, block,
                               req.subchunk_seq)
             yield from self.comm.send(msg.src, Tags.DATA, piece, nbytes=nbytes)
+            if trace is not None:
+                self._mark("cli_serve", op_id=op.op_id, kind="fetch",
+                           nbytes=nbytes, service=self.comm.sim.now - t0)
 
     # -- read path: absorb scattered pieces -------------------------------------
     def _serve_read(self, op: CollectiveOp):
         done_tag = Tags.OP_DONE if self.is_master else Tags.CLIENT_DONE
+        trace = self.runtime.trace
         while True:
             msg = yield from self.comm.recv(tags={Tags.PIECE, done_tag})
             if msg.tag == done_tag:
@@ -249,6 +264,7 @@ class PandaClient:
                     f"rank {self.rank}: piece for op {piece.op_id} during op "
                     f"{op.op_id}"
                 )
+            t0 = self.comm.sim.now if trace is not None else 0.0
             yield from self.comm.handle()
             spec = op.arrays[piece.array_index]
             chunk_region = self._my_chunk_region(spec)
@@ -266,3 +282,7 @@ class PandaClient:
                 ack = PieceAck(op.op_id, piece.array_index, piece.region,
                                piece.subchunk_seq)
                 yield from self.comm.send(msg.src, Tags.PIECE_ACK, ack)
+            if trace is not None:
+                self._mark("cli_serve", op_id=op.op_id, kind="piece",
+                           nbytes=piece.block.nbytes,
+                           service=self.comm.sim.now - t0)

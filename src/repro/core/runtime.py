@@ -193,6 +193,12 @@ class RunResult:
                 f"in {o.elapsed:8.3f} s = {o.throughput / MB:7.2f} MB/s"
             )
         lines.append(utilization(self.runtime).summary())
+        if self.trace is not None and self.elapsed > 0:
+            from repro.obs.critical_path import analyze
+
+            t_end = self.runtime.sim.now
+            report = analyze(self.trace, t0=t_end - self.elapsed, t_end=t_end)
+            lines.append(report.verdict_line())
         if self.counters:
             c = self.counters
             plan = f"{c['plan_cache_hits']}/{c['plan_cache_hits'] + c['plan_cache_misses']}"
@@ -409,6 +415,10 @@ class PandaRuntime:
             raise ValueError("no application assignments given")
 
         t0 = self.sim.now
+        if self.trace is not None:
+            self.trace.emit(t0, "runtime", "run_start",
+                            n_compute=self.n_compute, n_io=self.n_io,
+                            n_apps=len(assignments))
         counters_before = COUNTERS.snapshot()
         self.crashed_servers = set()  # a fresh run repairs every node
         server_procs = []
@@ -460,6 +470,9 @@ class PandaRuntime:
         for p in client_procs:
             p.value  # re-raise any client failure with its traceback
         ops = self.oplog.finished()
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, "runtime", "run_end",
+                            elapsed=self.sim.now - t0)
         counters_after = COUNTERS.snapshot()
         result = RunResult(
             ops=[o for o in ops], elapsed=self.sim.now - t0,

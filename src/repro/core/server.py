@@ -89,10 +89,19 @@ class PandaServer:
         #: fault mode: harden piece exchanges with timeout/retry and run
         #: the master's gather as a failure detector.
         self._reliable = runtime.injector is not None
+        self._src = f"server{server_index}"
         # per-op accounting for the trace/results
         self.bytes_written = 0
         self.bytes_read = 0
         self.subchunks_processed = 0
+
+    def _mark(self, kind: str, /, **detail) -> None:
+        """Emit a phase-boundary trace record (no-op when untraced).
+        The observability layer (:mod:`repro.obs`) turns these into
+        Perfetto tracks and the critical-path phase breakdown."""
+        trace = self.runtime.trace
+        if trace is not None:
+            trace.emit(self.comm.sim.now, self._src, kind, **detail)
 
     @property
     def is_master(self) -> bool:
@@ -127,6 +136,7 @@ class PandaServer:
                 recoveries = payload.recoveries
             else:
                 op: CollectiveOp = payload
+            self._mark("srv_op_start", op_id=op.op_id, kind=op.kind)
             yield from self.comm.handle()
             if self.is_master:
                 self.runtime.catalog_check(op)
@@ -144,6 +154,7 @@ class PandaServer:
                     )
             # independent plan formation
             yield from self.comm.compute(self.comm.spec.plan_formation_overhead)
+            self._mark("srv_plan_ready", op_id=op.op_id)
             moved = 0
             if self.server_index not in skip:
                 plan = build_server_plan(
@@ -160,6 +171,7 @@ class PandaServer:
             for a in recoveries:
                 if a.survivor_index == self.server_index:
                     moved += yield from self._execute_assignment(op, a)
+            self._mark("srv_io_done", op_id=op.op_id, moved=moved)
             done = ServerDone(op.op_id, self.server_index, moved)
             if self.is_master:
                 if self.runtime.n_io > 1:
@@ -184,6 +196,7 @@ class PandaServer:
                 yield from self.comm.send(
                     self.runtime.master_server_rank, Tags.SERVER_DONE, done
                 )
+            self._mark("srv_op_done", op_id=op.op_id)
 
     # -- helpers ---------------------------------------------------------------
     def _pieces_of(self, op: CollectiveOp, spec: ArraySpec,
@@ -211,7 +224,11 @@ class PandaServer:
         for a normal plan and for a recovery assignment)."""
         moved = 0
         real = self.runtime.real_payloads
+        trace = self.runtime.trace
+        t0 = 0.0
         for item in items:
+            if trace is not None:
+                t0 = self.comm.sim.now
             spec = op.arrays[item.array_index]
             pieces = self._pieces_of(op, spec, item)
             buf = np.zeros(item.region.shape, dtype=spec.np_dtype) if real else None
@@ -252,6 +269,11 @@ class PandaServer:
                     inject_region(buf, item.region.lo, piece.region, data)
             # staging pass: assemble the sub-chunk in traditional order
             yield from self.comm.copy(item.nbytes, max(total_runs, 1))
+            if trace is not None:
+                now = self.comm.sim.now
+                trace.emit(now, self._src, "srv_gather", op_id=op.op_id,
+                           seq=item.seq, nbytes=item.nbytes,
+                           pieces=len(pieces), service=now - t0)
             block = DataBlock.real(buf) if real else DataBlock.virtual(item.nbytes)
             yield from fh.write(block)
             moved += item.nbytes
@@ -317,11 +339,13 @@ class PandaServer:
         """Read-and-scatter the given sub-chunks out of ``fh``."""
         moved = 0
         real = self.runtime.real_payloads
+        trace = self.runtime.trace
         for item in items:
             spec = op.arrays[item.array_index]
             if fh.offset != item.file_offset:
                 fh.seek(item.file_offset)
             block = yield from fh.read(item.nbytes)
+            t0 = self.comm.sim.now if trace is not None else 0.0
             if real:
                 buf = block.array.view(spec.np_dtype).reshape(item.region.shape)
             pieces = self._pieces_of(op, spec, item)
@@ -346,6 +370,11 @@ class PandaServer:
                 else:
                     yield from self.comm.send(client_rank, Tags.PIECE, piece,
                                               nbytes=nbytes)
+            if trace is not None:
+                now = self.comm.sim.now
+                trace.emit(now, self._src, "srv_scatter", op_id=op.op_id,
+                           seq=item.seq, nbytes=item.nbytes,
+                           pieces=len(pieces), service=now - t0)
             moved += item.nbytes
             self.subchunks_processed += 1
         return moved

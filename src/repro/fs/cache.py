@@ -122,12 +122,18 @@ class BufferCache:
             run.insert(0, j)
             j -= 1
         first = run[0]
-        total = 0
-        for k in run:
-            blk = self._blocks.pop((path, k))
-            total += blk.filled
-            self.evictions += 1
+        last = run[-1]
         offset = first * self.block_bytes
+        # the coalesced disk write must cover the run's full *byte
+        # extent*: a partially-filled interior block still occupies its
+        # whole span on disk, so the length is measured from the first
+        # block's start to the last block's high-water mark -- not the
+        # sum of per-block fill levels, which underprices interior holes
+        total = (last * self.block_bytes
+                 + self._blocks[(path, last)].filled) - offset
+        for k in run:
+            self._blocks.pop((path, k))
+            self.evictions += 1
         yield from self.disk.access(path, offset, total, write=True)
         if self.trace is not None:
             self.trace.emit(
@@ -183,6 +189,11 @@ class BufferCache:
                 max_block = max(0, (file_size - 1) // self.block_bytes)
                 n_fetch = min(n_fetch, max_block - idx + 1)
                 n_fetch = max(n_fetch, 1)
+                # never fetch more blocks than the cache can hold:
+                # otherwise _make_room drains the cache empty and still
+                # needs slots, and its next(iter(...)) would raise
+                # StopIteration inside a generator (PEP 479)
+                n_fetch = min(n_fetch, self.capacity_blocks)
                 yield from self._make_room(n_fetch)
                 fetch_bytes = min(n_fetch * self.block_bytes,
                                   max(file_size - idx * self.block_bytes, span))
@@ -191,8 +202,15 @@ class BufferCache:
                 )
                 for k in range(idx, idx + n_fetch):
                     if (path, k) not in self._blocks:
+                        # the tail block holds only the bytes up to EOF;
+                        # marking it block_bytes full would overprice a
+                        # later dirty flush of it
+                        filled = min(
+                            self.block_bytes,
+                            max(file_size - k * self.block_bytes, 0),
+                        )
                         self._blocks[(path, k)] = _Block(
-                            dirty=False, filled=self.block_bytes
+                            dirty=False, filled=filled
                         )
                     self._touch((path, k))
             self._last_read_block[path] = idx

@@ -70,6 +70,7 @@ class DiskModel:
         :class:`~repro.faults.TransientDiskError` -- the caller's retry
         loop (:class:`repro.fs.filesystem.FileHandle`) takes it from
         there."""
+        t_arrive = self.sim.now
         yield self.arm.acquire()
         try:
             if self.injector is not None and self.injector.disk_fault(self.node):
@@ -109,6 +110,7 @@ class DiskModel:
                     nbytes=nbytes,
                     sequential=sequential,
                     service=t,
+                    wait=max(self.sim.now - t - t_arrive, 0.0),
                 )
         finally:
             self.arm.release()

@@ -101,6 +101,14 @@ class Network:
             self.out_links[src].release()
         self.messages_sent += 1
         self.bytes_sent += nbytes
+        if self.trace is not None:
+            # the span both links were held for (the streaming time;
+            # queueing for the links is visible as the gap before it)
+            self.trace.emit(
+                sim.now, "net", "net_xfer",
+                src=src, dst=dst, tag=tag, nbytes=nbytes,
+                service=transfer_time,
+            )
         extra = 0.0
         if self.injector is not None:
             dropped, extra = self.injector.message_fault(src, dst, tag, nbytes)

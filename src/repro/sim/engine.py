@@ -388,6 +388,12 @@ class Simulator:
         self._seq = 0
         self._live_processes = 0
         self._unhandled: list[tuple[Process, BaseException]] = []
+        #: optional observability hook (see :mod:`repro.obs.metrics`):
+        #: ``obs.on_event(t)`` is called after each dispatched event.
+        #: Observation is passive -- it never schedules or mutates
+        #: anything, so simulated behaviour is bit-identical with or
+        #: without it.
+        self.obs: Optional[Any] = None
 
     @property
     def now(self) -> float:
@@ -458,6 +464,8 @@ class Simulator:
         if t > self._now:
             self._now = t
         callback(*args)
+        if self.obs is not None:
+            self.obs.on_event(t)
         return True
 
     def run(self, until: Optional[float] = None) -> float:
@@ -469,6 +477,7 @@ class Simulator:
         # at sweep scale.  Must stay behaviour-identical to step().
         ready, heap = self._ready, self._heap
         unhandled = self._unhandled
+        obs = self.obs
         pop = heapq.heappop
         while heap or ready:
             if ready:
@@ -490,6 +499,8 @@ class Simulator:
             elif t < self._now - 1e-15:
                 raise SimulationError("time went backwards")
             entry[2](*entry[3])
+            if obs is not None:
+                obs.on_event(t)
             if unhandled:
                 proc, exc = unhandled.pop(0)
                 raise SimulationError(

@@ -48,6 +48,10 @@ class Resource:
         # utilisation accounting
         self._busy_time = 0.0
         self._last_change = 0.0
+        #: optional observability hook (see :mod:`repro.obs.metrics`):
+        #: ``obs.sample(t, in_use)`` after each occupancy change.
+        #: Passive -- never schedules events or changes grant order.
+        self.obs: Optional[Any] = None
 
     @property
     def in_use(self) -> int:
@@ -73,6 +77,8 @@ class Resource:
         if self._in_use < self.capacity and not self._waiters:
             self._account()
             self._in_use += 1
+            if self.obs is not None:
+                self.obs.sample(self.sim._now, self._in_use)
             ev.succeed(self)
         else:
             self._waiters.append(ev)
@@ -88,6 +94,8 @@ class Resource:
             self._account()
             self._in_use += 1
             self._waiters.popleft().succeed(self)
+        if self.obs is not None:
+            self.obs.sample(self.sim._now, self._in_use)
 
     def cancel(self, ev: Event) -> None:
         """Withdraw a pending acquisition (e.g. the waiter was
@@ -125,6 +133,9 @@ class Store:
         self._get_name = f"get({name})"
         self._items: deque[Any] = deque()
         self._getters: deque[tuple[Event, Optional[Callable[[Any], bool]]]] = deque()
+        #: optional observability hook: ``obs.sample(t, depth)`` after
+        #: each put/get settles.  Passive, like :attr:`Resource.obs`.
+        self.obs: Optional[Any] = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -132,12 +143,16 @@ class Store:
     def put(self, item: Any) -> None:
         self._items.append(item)
         self._dispatch()
+        if self.obs is not None:
+            self.obs.sample(self.sim._now, len(self._items))
 
     def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
         """Return an event that fires with the oldest matching item."""
         ev = Event(self.sim, self._get_name)
         self._getters.append((ev, predicate))
         self._dispatch()
+        if self.obs is not None:
+            self.obs.sample(self.sim._now, len(self._items))
         return ev
 
     def peek_all(self) -> list[Any]:

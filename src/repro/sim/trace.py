@@ -39,7 +39,7 @@ class Trace:
     def __init__(self) -> None:
         self.records: list[TraceRecord] = []
 
-    def emit(self, time: float, source: str, kind: str, **detail: Any) -> None:
+    def emit(self, time: float, source: str, kind: str, /, **detail: Any) -> None:
         self.records.append(TraceRecord(time, source, kind, detail))
 
     def __len__(self) -> int:

@@ -20,10 +20,15 @@ GOLDEN_WRITE = float.fromhex("0x1.0bec4737626d4p-2")  # 0.26164351726093327 s
 GOLDEN_READ = float.fromhex("0x1.0e222b6e0a178p-4")   # 0.06595055546552497 s
 
 
-def _run_scenario(real_payloads: bool):
+def _run_scenario(real_payloads: bool, observed: bool = False):
     memory = ArrayLayout("mem", (2, 2))
     a = Array("a", (64, 48), np.float64, memory, (BLOCK, BLOCK))
-    runtime = PandaRuntime(n_compute=4, n_io=2, real_payloads=real_payloads)
+    runtime = PandaRuntime(n_compute=4, n_io=2, real_payloads=real_payloads,
+                           trace=observed)
+    if observed:
+        from repro.obs.metrics import attach
+
+        attach(runtime)
     data = None
     if real_payloads:
         rng = np.random.default_rng(42)
@@ -47,6 +52,13 @@ def test_golden_elapsed_real_payloads():
 
 def test_golden_elapsed_virtual_payloads():
     ops = _run_scenario(real_payloads=False)
+    assert ops == [("write", GOLDEN_WRITE), ("read", GOLDEN_READ)]
+
+
+def test_golden_elapsed_with_observability():
+    """Tracing plus attached metrics observers are strictly passive:
+    simulated timings stay bit-identical to the untraced golden run."""
+    ops = _run_scenario(real_payloads=False, observed=True)
     assert ops == [("write", GOLDEN_WRITE), ("read", GOLDEN_READ)]
 
 

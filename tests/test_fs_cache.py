@@ -176,6 +176,87 @@ def test_cache_validation():
                     block_bytes=1024)
 
 
+def test_flush_prices_full_extent_with_partial_interior_block():
+    """Regression: a coalesced run containing a partially-filled
+    *interior* block must be priced (and traced) as its full byte
+    extent, not the sum of per-block fill levels."""
+    sim, cache, disk, store = make_cache(capacity_blocks=8)
+
+    def proc(sim):
+        yield from cache.write("f", 0, b"a" * 1024, 1024)       # block 0 full
+        yield from cache.write("f", 1024, b"b" * 100, 100)      # block 1: 100 B
+        yield from cache.write("f", 2048, b"c" * 1024, 1024)    # block 2 full
+        yield from cache.flush()
+
+    run(sim, proc(sim))
+    assert disk.requests == 1
+    # extent [0, 3*1024), not 1024 + 100 + 1024 = 2148
+    assert disk.bytes_written == 3 * 1024
+
+
+def test_flush_trace_reports_extent_nbytes():
+    """The cache_flush trace record's nbytes must equal the disk span."""
+    from repro.sim.trace import Trace
+
+    sim = Simulator()
+    store = MemoryStore()
+    store.create("f")
+    disk = DiskModel(sim, NAS_SP2)
+    trace = Trace()
+    cache = BufferCache(sim, NAS_SP2, disk, store, capacity_bytes=8 * 1024,
+                        block_bytes=1024, trace=trace)
+
+    def proc(sim):
+        yield from cache.write("f", 0, b"a" * 1024, 1024)
+        yield from cache.write("f", 1024, b"b" * 10, 10)
+        yield from cache.write("f", 2048, b"c" * 512, 512)
+        yield from cache.flush()
+
+    run(sim, proc(sim))
+    (rec,) = trace.select(kind="cache_flush")
+    assert rec["offset"] == 0
+    assert rec["blocks"] == 3
+    assert rec["nbytes"] == 2 * 1024 + 512  # byte extent, holes included
+
+
+def test_readahead_larger_than_capacity_does_not_crash():
+    """Regression: readahead + 1 > capacity_blocks used to drain the
+    cache empty inside _make_room and die with a PEP 479 RuntimeError
+    (StopIteration inside a generator)."""
+    sim, cache, disk, store = make_cache(capacity_blocks=1, readahead=4)
+    store.write("f", 0, b"s" * 8192, 8192)
+
+    def proc(sim):
+        a = yield from cache.read("f", 0, 1024)
+        # sequential miss: wants 1 + 4 blocks through a 1-block cache
+        b = yield from cache.read("f", 1024, 1024)
+        return a, b
+
+    a, b = run(sim, proc(sim))
+    assert a == b == b"s" * 1024
+    assert disk.bytes_read <= 8192
+
+
+def test_prefetched_tail_block_filled_clamped_at_eof():
+    """Regression: a prefetched EOF tail block was marked block_bytes
+    full, so dirtying and flushing it overpriced the disk write."""
+    sim, cache, disk, store = make_cache(capacity_blocks=8, readahead=2)
+    store.write("f", 0, b"e" * 2560, 2560)  # 2.5 blocks
+
+    def proc(sim):
+        yield from cache.read("f", 0, 100)
+        # sequential miss on block 1 prefetches the tail block 2 too
+        yield from cache.read("f", 1024, 100)
+        written_before = disk.bytes_written
+        # dirty the tail block and flush: only its 512 real bytes count
+        yield from cache.write("f", 2048, b"x" * 10, 10)
+        yield from cache.flush()
+        return written_before
+
+    written_before = run(sim, proc(sim))
+    assert disk.bytes_written - written_before == 512
+
+
 def test_partial_tail_block_flushes_only_filled_bytes():
     sim, cache, disk, store = make_cache()
 

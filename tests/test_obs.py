@@ -1,0 +1,237 @@
+"""The observability layer: Chrome trace export, metrics, critical path.
+
+Everything here runs seeded Figure-3-shaped workloads (read, natural
+chunking, real disk) through :func:`repro.bench.harness.
+run_traced_point`, so the assertions exercise the same paths the
+``python -m repro trace`` CLI uses.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.bench.harness import run_traced_point
+from repro.bench.stats import utilization
+from repro.obs import analyze, observe_trace, to_chrome_trace, write_chrome_trace
+from repro.obs.critical_path import PHASES
+from repro.obs.metrics import MetricsRegistry, TimeSeries
+
+
+@pytest.fixture(scope="module")
+def fig3_point():
+    """One traced Figure-3 point: 16 MB read, 8 CN / 2 ION, real disk."""
+    registry = MetricsRegistry()
+    result, report = run_traced_point(
+        "read", 8, 2, (128, 128, 128), disk_schema="natural",
+        fast_disk=False, registry=registry,
+    )
+    return result, report, registry
+
+
+# -- Chrome trace export -----------------------------------------------------
+
+REQUIRED_KEYS = {"name", "ph", "ts", "pid"}
+
+
+def test_chrome_trace_schema(fig3_point):
+    result, _report, _reg = fig3_point
+    doc = to_chrome_trace(result.trace)
+    assert set(doc) == {"traceEvents", "displayTimeUnit"}
+    events = doc["traceEvents"]
+    assert events, "traced run exported no events"
+    for ev in events:
+        assert REQUIRED_KEYS - set(ev) == set() or ev["ph"] == "M", ev
+        if ev["ph"] == "M":
+            assert ev["name"] in ("process_name", "thread_name")
+            assert "name" in ev["args"]
+        else:
+            assert isinstance(ev["pid"], int)
+            assert isinstance(ev["tid"], int)
+            assert ev["ts"] >= 0
+        if ev["ph"] == "X":
+            assert ev["dur"] >= 0
+
+
+def test_chrome_trace_pid_tid_mapping(fig3_point):
+    """Every (pid, tid) that carries events has a thread_name, every
+    pid a process_name, and the names match the simulated resources."""
+    result, _report, _reg = fig3_point
+    events = to_chrome_trace(result.trace)["traceEvents"]
+    named_pids = {
+        ev["pid"]: ev["args"]["name"]
+        for ev in events if ev["ph"] == "M" and ev["name"] == "process_name"
+    }
+    named_tids = {
+        (ev["pid"], ev["tid"]): ev["args"]["name"]
+        for ev in events if ev["ph"] == "M" and ev["name"] == "thread_name"
+    }
+    used = {(ev["pid"], ev["tid"]) for ev in events if ev["ph"] != "M"}
+    assert used <= set(named_tids), "events on unnamed tracks"
+    assert {p for p, _ in used} <= set(named_pids)
+    names = set(named_tids.values())
+    # 8 clients, 2 servers, 2 disks on the expected tracks
+    assert {f"client{r}" for r in range(8)} <= names
+    assert {"server0", "server1"} <= names
+    assert {"ionode0.disk", "ionode1.disk"} <= names
+    assert any(n.startswith("out[") for n in names)
+    assert any(n.startswith("in[") for n in names)
+
+
+def test_chrome_trace_spans_match_trace_records(fig3_point):
+    """Disk spans reconstruct [time - service, time] of their records."""
+    result, _report, _reg = fig3_point
+    events = to_chrome_trace(result.trace)["traceEvents"]
+    disk_spans = [
+        ev for ev in events
+        if ev["ph"] == "X" and ev.get("cat") == "disk"
+    ]
+    disk_recs = [
+        r for r in result.trace.records
+        if r.kind in ("disk_read", "disk_write")
+    ]
+    assert len(disk_spans) == len(disk_recs)
+    for ev, rec in zip(disk_spans, disk_recs):
+        assert ev["ts"] == pytest.approx(
+            (rec.time - rec.detail["service"]) * 1e6
+        )
+        assert ev["dur"] == pytest.approx(rec.detail["service"] * 1e6)
+        assert ev["args"]["nbytes"] == rec.detail["nbytes"]
+
+
+def test_write_chrome_trace_roundtrips(tmp_path, fig3_point):
+    result, _report, _reg = fig3_point
+    path = tmp_path / "trace.json"
+    write_chrome_trace(result.trace, str(path))
+    doc = json.loads(path.read_text())
+    assert doc["traceEvents"] == to_chrome_trace(result.trace)["traceEvents"]
+
+
+# -- critical path -----------------------------------------------------------
+
+def test_phases_sum_to_window(fig3_point):
+    result, report, _reg = fig3_point
+    assert set(report.phases) == set(PHASES)
+    assert sum(report.phases.values()) == pytest.approx(
+        report.total, rel=1e-12, abs=1e-12
+    )
+    # the window is the timed run: [sim.now - elapsed, sim.now]
+    assert report.t_end == result.runtime.sim.now
+    assert report.total == pytest.approx(result.elapsed)
+    assert all(v >= 0 for v in report.phases.values())
+
+
+def test_chain_tiles_window(fig3_point):
+    _result, report, _reg = fig3_point
+    assert report.chain[0].start == report.t0
+    assert report.chain[-1].end == pytest.approx(report.t_end)
+    for a, b in zip(report.chain, report.chain[1:]):
+        assert b.start == pytest.approx(a.end)
+    for seg in report.chain:
+        assert seg.phase in PHASES
+        assert seg.duration >= 0
+
+
+def test_fig3_is_disk_bound_consistent_with_utilization(fig3_point):
+    """A real-disk Figure-3 run is disk-bound, and the critical path's
+    disk share agrees with the runtime's disk-utilization accounting."""
+    result, report, _reg = fig3_point
+    assert report.verdict == "disk-bound"
+    assert "disk-bound" in report.verdict_line()
+    stats = utilization(result.runtime)
+    assert max(stats.disk_utilization) > 0.5
+    # both measure the same saturation; the critical path confines
+    # itself to the timed window, so agree loosely
+    assert report.share("disk") == pytest.approx(
+        max(stats.disk_utilization), abs=0.15
+    )
+    # the verdict also surfaces through RunResult.describe()
+    assert "critical path: disk-bound" in result.describe()
+
+
+def test_fast_disk_run_is_not_disk_bound():
+    """With infinitely fast disks (Figure 5 mode) the disk phase
+    collapses and the verdict moves off disk-bound."""
+    _result, report = run_traced_point(
+        "read", 8, 2, (128, 128, 128), disk_schema="natural", fast_disk=True,
+    )
+    assert report.phases["disk"] == 0.0
+    assert report.verdict in ("network-bound", "startup-bound")
+
+
+def test_analyze_empty_window():
+    report = analyze(None, t0=0.0, t_end=0.0)
+    assert report.total == 0.0
+    assert sum(report.phases.values()) == 0.0
+    assert report.verdict == "startup-bound"
+
+
+# -- metrics -----------------------------------------------------------------
+
+def test_timeseries_time_weighted_mean():
+    ts = TimeSeries()
+    ts.sample(0.0, 0)
+    ts.sample(1.0, 1)
+    ts.sample(3.0, 0)
+    assert ts.mean(4.0) == pytest.approx(0.5)  # busy 2 of 4 seconds
+    assert ts.max == 1
+    assert ts.last == 0
+    # same-instant resamples collapse to the last value
+    ts.sample(4.0, 5)
+    ts.sample(4.0, 7)
+    assert ts.values[-1] == 7
+
+
+def test_attached_observers_record_utilization(fig3_point):
+    """The disk-arm time series' time-weighted mean agrees with the
+    runtime's busy-seconds accounting."""
+    result, _report, registry = fig3_point
+    stats = utilization(result.runtime)
+    text = registry.render()
+    for i in range(2):
+        fam = registry.time_series("panda_disk_arm_in_use", disk=str(i))
+        assert fam.mean(result.runtime.sim.now) == pytest.approx(
+            stats.disk_utilization[i], rel=1e-6
+        )
+        assert f'panda_disk_arm_in_use_max{{disk="{i}"}} 1' in text
+    assert "panda_sim_events_total" in text
+    assert "panda_link_in_use" in text
+    assert "panda_mailbox_depth" in text
+
+
+def test_prometheus_render_format(fig3_point):
+    result, _report, registry = fig3_point
+    observe_trace(result.trace, registry)
+    text = registry.render()
+    lines = text.strip().splitlines()
+    assert lines, "empty metrics snapshot"
+    for line in lines:
+        if line.startswith("#"):
+            assert line.startswith(("# HELP ", "# TYPE "))
+            continue
+        name_part, value = line.rsplit(" ", 1)
+        assert name_part
+        float(value)  # parses
+    # histogram invariants: bucket counts are cumulative, +Inf == count
+    assert 'panda_disk_service_seconds_bucket{op="disk_read",le="+Inf"}' in text
+
+
+def test_histogram_cumulative_buckets(fig3_point):
+    result, _report, _reg = fig3_point
+    reg = observe_trace(result.trace)
+    h = reg.histogram("panda_disk_service_seconds", op="disk_read")
+    assert h.count > 0
+    assert h.counts == sorted(h.counts)
+    assert h.counts[-1] <= h.count
+    assert math.isfinite(h.sum)
+
+
+def test_counter_rejects_decrease():
+    reg = MetricsRegistry()
+    c = reg.counter("x_total")
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    # same name+labels returns the same child; conflicting type raises
+    assert reg.counter("x_total") is c
+    with pytest.raises(TypeError):
+        reg._child(type(TimeSeries()), "x_total", "", {})
