@@ -1,0 +1,257 @@
+"""Schedule-perturbation race detector (the dynamic half of panda-lint).
+
+Static lints cannot see every order-dependence, so this module attacks
+the invariant directly: the simulator's dispatch order among
+*same-timestamp, causally-unordered* events is an implementation
+detail, and no simulated result may depend on it.  The engine's
+perturbation mode (:meth:`repro.sim.engine.Simulator.
+enable_perturbation`) picks uniformly at random -- from a seeded PRNG
+-- among every queued entry carrying the minimal timestamp.  Causality
+is preserved for free: an event only becomes a candidate after the
+event that scheduled it has run, and time never goes backwards.
+
+A *scenario* is a callable that builds a fresh simulation, runs one
+representative operation, and returns a :class:`ScenarioRun`: an exact
+fingerprint (op timings as float hex, bytes moved, a digest of the
+stored payload bytes) plus the dispatch log.  The detector runs each
+scenario once unperturbed and once per seed, and any fingerprint
+mismatch is a latent race; the report pinpoints the first pair of
+dispatch decisions where the perturbed schedule departed from the
+baseline, which is where to start reading.
+
+The representative set covers the protocol's distinct traffic shapes:
+write and read, natural and reorganizing disk schemas, and the fault
+path (transient drops force the reliable request/reply exchanges;
+fault decisions are per-site PRNG streams, so they are order-blind by
+construction and must survive perturbation too).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Divergence",
+    "RaceReport",
+    "ScenarioRun",
+    "Scenario",
+    "detect",
+    "panda_scenarios",
+]
+
+#: (simulated time, dispatch label) -- one entry per dispatched event.
+DispatchLog = List[Tuple[float, str]]
+
+
+@dataclass(frozen=True)
+class ScenarioRun:
+    """One execution of a scenario: exact results + schedule."""
+
+    fingerprint: Tuple[str, ...]
+    log: Tuple[Tuple[float, str], ...]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, repeatable simulation run.
+
+    ``run(perturb_seed)`` must build everything fresh (simulator,
+    runtime, arrays) and return a :class:`ScenarioRun`;
+    ``perturb_seed=None`` means the deterministic baseline order.
+    """
+
+    name: str
+    run: Callable[[Optional[int]], ScenarioRun]
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """A detected race: scenario + seed + where schedules first split."""
+
+    scenario: str
+    seed: int
+    #: index into the dispatch logs of the first differing entry.
+    event_index: int
+    baseline_event: Optional[Tuple[float, str]]
+    perturbed_event: Optional[Tuple[float, str]]
+    baseline_fingerprint: Tuple[str, ...]
+    perturbed_fingerprint: Tuple[str, ...]
+
+    def describe(self) -> str:
+        def fmt(e: Optional[Tuple[float, str]]) -> str:
+            return f"t={e[0]:.9f} {e[1]}" if e is not None else "<log ended>"
+
+        mism = [
+            f"    {b!r} != {p!r}"
+            for b, p in zip(self.baseline_fingerprint,
+                            self.perturbed_fingerprint)
+            if b != p
+        ]
+        return (
+            f"RACE {self.scenario} (seed {self.seed}): results depend on "
+            f"dispatch order\n"
+            f"  first diverging event pair (index {self.event_index}):\n"
+            f"    baseline : {fmt(self.baseline_event)}\n"
+            f"    perturbed: {fmt(self.perturbed_event)}\n"
+            f"  fingerprint mismatches:\n" + "\n".join(mism)
+        )
+
+
+@dataclass
+class RaceReport:
+    """Outcome of one detector sweep."""
+
+    scenarios: List[str]
+    seeds: Tuple[int, ...]
+    runs: int = 0
+    divergences: List[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> str:
+        head = (
+            f"race detector: {len(self.scenarios)} scenario(s) x "
+            f"{len(self.seeds)} seed(s), {self.runs} perturbed run(s)"
+        )
+        if self.ok:
+            return head + ": all schedules agree (no order-dependence)"
+        body = "\n".join(d.describe() for d in self.divergences)
+        return f"{head}: {len(self.divergences)} divergence(s)\n{body}"
+
+
+def _first_difference(
+    a: Sequence[Tuple[float, str]], b: Sequence[Tuple[float, str]]
+) -> Tuple[int, Optional[Tuple[float, str]], Optional[Tuple[float, str]]]:
+    for i, (x, y) in enumerate(zip(a, b)):
+        if x != y:
+            return i, x, y
+    n = min(len(a), len(b))
+    return (
+        n,
+        a[n] if n < len(a) else None,
+        b[n] if n < len(b) else None,
+    )
+
+
+def detect(
+    scenarios: Sequence[Scenario],
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    stop_on_first: bool = False,
+) -> RaceReport:
+    """Run every scenario under every perturbation seed and compare
+    against its unperturbed baseline."""
+    report = RaceReport([s.name for s in scenarios], tuple(seeds))
+    for scenario in scenarios:
+        baseline = scenario.run(None)
+        for seed in seeds:
+            perturbed = scenario.run(seed)
+            report.runs += 1
+            if perturbed.fingerprint == baseline.fingerprint:
+                continue
+            idx, be, pe = _first_difference(baseline.log, perturbed.log)
+            report.divergences.append(Divergence(
+                scenario.name, seed, idx, be, pe,
+                baseline.fingerprint, perturbed.fingerprint,
+            ))
+            if stop_on_first:
+                return report
+    return report
+
+
+# -- the representative Panda op set ------------------------------------------
+
+def _digest_stored(runtime: object) -> str:
+    """sha256 over every client's bound arrays, in (rank, name) order.
+    Virtual payloads contribute their None placeholders only."""
+    h = hashlib.sha256()
+    states = getattr(runtime, "_client_state", {})
+    for rank in sorted(states):
+        for name in sorted(states[rank]["data"]):
+            arr = states[rank]["data"][name]
+            h.update(f"{rank}:{name}:".encode())
+            if arr is not None:
+                h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def _roundtrip_scenario(
+    name: str,
+    reorganize: bool,
+    faults: Optional[object],
+    real_payloads: bool,
+) -> Scenario:
+    import numpy as np
+
+    from repro.core import (
+        BLOCK,
+        NONE,
+        Array,
+        ArrayLayout,
+        PandaConfig,
+        PandaRuntime,
+    )
+    from repro.workloads.apps import write_read_roundtrip_app
+
+    shape = (32, 24)
+
+    def run(perturb_seed: Optional[int]) -> ScenarioRun:
+        memory = ArrayLayout("mem", (2, 2))
+        if reorganize:
+            disk = ArrayLayout("disk", (4,))
+            a = Array("a", shape, np.float64, memory, (BLOCK, BLOCK),
+                      disk, (BLOCK, NONE))
+        else:
+            a = Array("a", shape, np.float64, memory, (BLOCK, BLOCK))
+        config = PandaConfig(faults=faults) if faults is not None else None
+        runtime = PandaRuntime(n_compute=4, n_io=2, config=config,
+                               real_payloads=real_payloads)
+        data = None
+        if real_payloads:
+            rng = np.random.default_rng(1234)
+            g = rng.standard_normal(shape)
+            data = {"a": {
+                i: np.ascontiguousarray(
+                    g[a.memory_schema.chunk(i).region.slices()])
+                for i in range(4)
+            }}
+        log = runtime.sim.enable_dispatch_log()
+        if perturb_seed is not None:
+            runtime.sim.enable_perturbation(perturb_seed)
+        result = runtime.run(write_read_roundtrip_app([a], name, data))
+        fingerprint = tuple(
+            f"{op.kind}:{op.elapsed.hex()}:{op.total_bytes}"
+            for op in result.ops
+        ) + (f"stored:{_digest_stored(runtime)}",)
+        return ScenarioRun(fingerprint, tuple(log))
+
+    return Scenario(name, run)
+
+
+def panda_scenarios(with_faults: bool = True) -> List[Scenario]:
+    """The representative op set: read+write roundtrips over natural
+    and reorganizing schemas, without and (optionally) with faults."""
+    scenarios = [
+        _roundtrip_scenario("natural-roundtrip", reorganize=False,
+                            faults=None, real_payloads=True),
+        _roundtrip_scenario("reorg-roundtrip", reorganize=True,
+                            faults=None, real_payloads=False),
+    ]
+    if with_faults:
+        from repro.faults import FaultSpec
+
+        scenarios.append(_roundtrip_scenario(
+            "faulty-roundtrip", reorganize=False,
+            faults=FaultSpec(seed=42, msg_drop_rate=0.05,
+                             msg_delay_rate=0.05, disk_fault_rate=0.02),
+            real_payloads=True,
+        ))
+        scenarios.append(_roundtrip_scenario(
+            "crash-recovery", reorganize=False,
+            faults=FaultSpec(seed=42, crashes=((1, 0.004),)),
+            real_payloads=True,
+        ))
+    return scenarios

@@ -10,6 +10,8 @@ Usage::
     python -m repro compare --size-mb 16     # strategy comparison
     python -m repro trace --figure fig3 --size-mb 16 \\
         --out panda-trace.json               # Perfetto trace + verdict
+    python -m repro lint                     # panda-lint static analysis
+    python -m repro race --seeds 5           # schedule-perturbation sweep
 
 Everything prints the same tables the benchmark suite publishes to
 ``benchmarks/results.txt``.
@@ -214,6 +216,52 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """panda-lint: the repo-specific determinism + protocol checks.
+    Exit 0 only when every finding is fixed or allowlisted (with a
+    reason) -- CI runs this as a blocking job."""
+    import json
+    from pathlib import Path
+
+    from repro.analysis import run_lint
+
+    root = Path(args.root).resolve()
+    if not (root / "pyproject.toml").is_file():
+        print(f"{root} does not look like the repo root "
+              "(no pyproject.toml); pass --root", file=sys.stderr)
+        return 2
+    result = run_lint(root, use_cache=not args.no_cache)
+    if args.format == "json":
+        print(json.dumps(result.as_json(), indent=1))
+    else:
+        for line in result.lines():
+            print(line)
+    return 0 if result.ok else 1
+
+
+def cmd_race(args: argparse.Namespace) -> int:
+    """Schedule-perturbation race detector over the representative op
+    set; any divergence across seeds is a latent order-dependence."""
+    import json
+
+    from repro.analysis.race import detect, panda_scenarios
+
+    seeds = tuple(range(1, args.seeds + 1))
+    report = detect(panda_scenarios(with_faults=not args.no_faults),
+                    seeds=seeds)
+    if args.format == "json":
+        print(json.dumps({
+            "ok": report.ok,
+            "scenarios": report.scenarios,
+            "seeds": list(report.seeds),
+            "runs": report.runs,
+            "divergences": [d.describe() for d in report.divergences],
+        }, indent=1))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -264,6 +312,30 @@ def build_parser() -> argparse.ArgumentParser:
                       help="Prometheus-style metrics snapshot path "
                            "('' to skip)")
     p_tr.set_defaults(func=cmd_trace)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="panda-lint: determinism + protocol static analysis "
+             "(exit 1 on any unsuppressed finding)",
+    )
+    p_lint.add_argument("--root", default=".",
+                        help="repo root (default: current directory)")
+    p_lint.add_argument("--format", choices=["text", "json"], default="text")
+    p_lint.add_argument("--no-cache", action="store_true",
+                        help="ignore and don't write .panda-lint-cache.json")
+    p_lint.set_defaults(func=cmd_lint)
+
+    p_race = sub.add_parser(
+        "race",
+        help="schedule-perturbation race detector over representative "
+             "ops (exit 1 on any divergence)",
+    )
+    p_race.add_argument("--seeds", type=int, default=5,
+                        help="number of perturbation seeds (default 5)")
+    p_race.add_argument("--no-faults", action="store_true",
+                        help="skip the fault-mode scenarios")
+    p_race.add_argument("--format", choices=["text", "json"], default="text")
+    p_race.set_defaults(func=cmd_race)
 
     return parser
 

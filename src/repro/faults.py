@@ -156,7 +156,7 @@ class FaultPlan:
 
     def __init__(self, spec: FaultSpec) -> None:
         self.spec = spec
-        self._streams: Dict[tuple, random.Random] = {}
+        self._streams: Dict[Tuple[object, ...], random.Random] = {}
 
     def _draw(self, *stream: object) -> float:
         rng = self._streams.get(stream)

@@ -29,8 +29,9 @@ loop; callbacks must not call :meth:`Simulator.run`.
 from __future__ import annotations
 
 import heapq
+import random
 from collections import deque
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from repro.counters import COUNTERS
 
@@ -394,6 +395,50 @@ class Simulator:
         #: anything, so simulated behaviour is bit-identical with or
         #: without it.
         self.obs: Optional[Any] = None
+        #: schedule-perturbation mode (see :mod:`repro.analysis.race`):
+        #: when set, :meth:`run` dispatches a uniformly random entry
+        #: among all queued entries carrying the minimal timestamp,
+        #: instead of the lowest sequence number.  Candidates are only
+        #: ever already-scheduled entries, so causal order (an event
+        #: scheduled by a callback cannot run before that callback) and
+        #: time order are both preserved -- any simulated-result change
+        #: under perturbation is an order-dependence bug.
+        self._perturb: Optional[random.Random] = None
+        #: optional dispatch log ``(time, label)`` per dispatched event,
+        #: used by the race detector to report diverging event pairs.
+        self.dispatch_log: Optional[List[Tuple[float, str]]] = None
+
+    # -- schedule perturbation / dispatch recording ------------------------
+    def enable_perturbation(self, seed: int) -> None:
+        """Randomise same-timestamp dispatch order with a seeded PRNG
+        and start recording the dispatch log.  Must be called before
+        events are queued; only :mod:`repro.analysis.race` should use
+        this -- perturbed runs trade the fast path for instrumentation."""
+        self._perturb = random.Random(f"perturb:{seed}")
+        if self.dispatch_log is None:
+            self.dispatch_log = []
+
+    def enable_dispatch_log(self) -> List[Tuple[float, str]]:
+        """Record ``(time, label)`` for every dispatched event (without
+        perturbing the order) and return the live log list."""
+        if self.dispatch_log is None:
+            self.dispatch_log = []
+        return self.dispatch_log
+
+    @property
+    def _instrumented(self) -> bool:
+        return self._perturb is not None or self.dispatch_log is not None
+
+    @staticmethod
+    def _dispatch_label(callback: Callable[..., None]) -> str:
+        """A stable, content-based label for a queued callback: the
+        qualified name plus the owning object's ``name`` when it has
+        one (processes, named events).  Sequence numbers are *not*
+        included -- they are exactly what perturbation permutes."""
+        owner = getattr(callback, "__self__", None)
+        qualname = getattr(callback, "__qualname__", None) or repr(callback)
+        name = getattr(owner, "name", "")
+        return f"{qualname}[{name}]" if name else qualname
 
     @property
     def now(self) -> float:
@@ -473,6 +518,8 @@ class Simulator:
         ``until``).  Raises the first unhandled process exception, and
         raises :class:`SimulationError` on deadlock (live processes but
         no queued events).  Returns the final simulation time."""
+        if self._instrumented:
+            return self._run_instrumented(until)
         # step() inlined: one bound-method call per event is measurable
         # at sweep scale.  Must stay behaviour-identical to step().
         ready, heap = self._ready, self._heap
@@ -503,6 +550,62 @@ class Simulator:
                 obs.on_event(t)
             if unhandled:
                 proc, exc = unhandled.pop(0)
+                raise SimulationError(
+                    f"unhandled failure in process {proc.name!r}"
+                ) from exc
+        if until is None and self._live_processes > 0:
+            raise SimulationError(
+                f"deadlock: {self._live_processes} live process(es) but no "
+                "pending events"
+            )
+        return self._now
+
+    def _run_instrumented(self, until: Optional[float] = None) -> float:
+        """The slow twin of :meth:`run`: optional same-timestamp random
+        dispatch (``_perturb``) and per-event logging (``dispatch_log``).
+
+        With ``_perturb`` unset this dispatches in exactly the normal
+        global (time, seq) order -- candidate 0 below *is* the entry the
+        fast loop would pop -- so a logged baseline run stays
+        bit-identical to an unlogged one."""
+        ready, heap = self._ready, self._heap
+        rng = self._perturb
+        log = self.dispatch_log
+        while heap or ready:
+            # all queued entries carrying the minimal timestamp: the
+            # ready deque is time-sorted (appends stamp the current,
+            # monotone clock), so its candidates form a prefix
+            if ready:
+                t0 = min(ready[0][0], heap[0][0]) if heap else ready[0][0]
+            else:
+                t0 = heap[0][0]
+            if until is not None and t0 > until:
+                self._now = until
+                break
+            candidates: List[Tuple[float, int, Callable[..., None], tuple]] = []
+            while ready and ready[0][0] == t0:
+                candidates.append(ready.popleft())
+            while heap and heap[0][0] == t0:
+                candidates.append(heapq.heappop(heap))
+            if rng is not None and len(candidates) > 1:
+                entry = candidates.pop(rng.randrange(len(candidates)))
+            else:
+                entry = min(candidates, key=lambda e: e[1])
+                candidates.remove(entry)
+            for other in candidates:
+                heapq.heappush(heap, other)
+            t = entry[0]
+            if t > self._now:
+                self._now = t
+            elif t < self._now - 1e-15:
+                raise SimulationError("time went backwards")
+            if log is not None:
+                log.append((t, self._dispatch_label(entry[2])))
+            entry[2](*entry[3])
+            if self.obs is not None:
+                self.obs.on_event(t)
+            if self._unhandled:
+                proc, exc = self._unhandled.pop(0)
                 raise SimulationError(
                     f"unhandled failure in process {proc.name!r}"
                 ) from exc

@@ -1,0 +1,457 @@
+"""panda-lint: the determinism lints, the protocol checker, the
+allowlist/cache plumbing, and the schedule-perturbation race detector.
+
+Each determinism rule must fire on a known-bad fixture snippet (and
+stay quiet on the sanctioned pattern next to it); the protocol checker
+must flag a synthetic protocol with a dead tag, an unmatched send, an
+unmatched recv and a deadlock cycle; the race detector must catch a
+deliberately order-dependent toy handler and pass the real tree.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+from typing import Optional
+
+from repro.analysis import run_lint
+from repro.analysis.determinism import lint_source
+from repro.analysis.findings import (
+    AllowEntry,
+    Finding,
+    LintCache,
+    _parse_allow_fallback,
+    apply_allowlist,
+    load_allowlist,
+)
+from repro.analysis.protocol_check import check_sources, check_tree, parse_tags
+from repro.analysis.race import Scenario, ScenarioRun, detect, panda_scenarios
+from repro.sim.engine import Simulator
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _rules(snippet: str):
+    return [f.rule for f in lint_source(textwrap.dedent(snippet), "fix.py")]
+
+
+# -- determinism rules ------------------------------------------------------
+
+class TestDeterminismRules:
+    def test_pl001_wall_clock(self):
+        assert _rules("""
+            import time
+            def f():
+                return time.perf_counter()
+        """) == ["PL001"]
+
+    def test_pl001_datetime_now(self):
+        assert _rules("""
+            from datetime import datetime
+            def f():
+                return datetime.now()
+        """) == ["PL001"]
+
+    def test_pl001_aliased_import(self):
+        assert _rules("""
+            import time as clock
+            def f():
+                return clock.time()
+        """) == ["PL001"]
+
+    def test_pl002_module_level_random(self):
+        assert _rules("""
+            import random
+            def f():
+                return random.randint(0, 9)
+        """) == ["PL002"]
+
+    def test_pl002_numpy_random(self):
+        assert _rules("""
+            import numpy as np
+            def f():
+                return np.random.rand(3)
+        """) == ["PL002"]
+
+    def test_pl002_seeded_instances_allowed(self):
+        assert _rules("""
+            import random
+            import numpy as np
+            def f(seed):
+                rng = random.Random(seed)
+                g = np.random.default_rng(seed)
+                return rng.random() + g.standard_normal()
+        """) == []
+
+    def test_pl003_for_over_set_literal(self):
+        assert _rules("""
+            def f():
+                for x in {1, 2, 3}:
+                    print(x)
+        """) == ["PL003"]
+
+    def test_pl003_tracked_local_name(self):
+        assert _rules("""
+            def f(xs):
+                pending = set(xs)
+                for x in pending:
+                    print(x)
+        """) == ["PL003"]
+
+    def test_pl003_dict_keys(self):
+        assert _rules("""
+            def f(d):
+                return [k * 2 for k in d.keys()]
+        """) == ["PL003"]
+
+    def test_pl003_set_algebra(self):
+        assert _rules("""
+            def f(a, b):
+                both = set(a) & set(b)
+                for x in both:
+                    print(x)
+        """) == ["PL003"]
+
+    def test_pl003_sorted_wrap_is_clean(self):
+        assert _rules("""
+            def f(xs):
+                for x in sorted(set(xs)):
+                    print(x)
+        """) == []
+
+    def test_pl003_laundering_rebind_is_clean(self):
+        assert _rules("""
+            def f(xs):
+                pending = set(xs)
+                pending = sorted(pending)
+                for x in pending:
+                    print(x)
+        """) == []
+
+    def test_pl003_set_comprehension_target_is_clean(self):
+        # building a *set* from a set is order-insensitive
+        assert _rules("""
+            def f(xs):
+                return {x + 1 for x in set(xs)}
+        """) == []
+
+    def test_pl004_sorted_key_id(self):
+        assert _rules("""
+            def f(xs):
+                return sorted(xs, key=id)
+        """) == ["PL004"]
+
+    def test_pl004_list_sort_key_id(self):
+        assert _rules("""
+            def f(xs):
+                xs.sort(key=id)
+        """) == ["PL004"]
+
+    def test_pl005_id_keyed_subscript(self):
+        assert _rules("""
+            def f(d, obj):
+                d[id(obj)] = 1
+        """) == ["PL005"]
+
+    def test_pl005_id_keyed_dict_literal(self):
+        assert _rules("""
+            def f(obj):
+                return {id(obj): obj}
+        """) == ["PL005"]
+
+    def test_pl005_id_added_to_set(self):
+        assert _rules("""
+            def f(seen, obj):
+                seen.add(id(obj))
+        """) == ["PL005"]
+
+    def test_pl006_sum_over_set(self):
+        assert "PL006" in _rules("""
+            def f(vals):
+                pending = frozenset(vals)
+                return sum(pending)
+        """)
+
+    def test_finding_carries_location(self):
+        findings = lint_source(
+            "import time\n\nx = time.time()\n", "src/repro/foo.py"
+        )
+        assert findings == [
+            Finding("PL001", "src/repro/foo.py", 3, findings[0].message)
+        ]
+        assert "src/repro/foo.py:3: PL001" in findings[0].format()
+
+
+# -- allowlist + cache ------------------------------------------------------
+
+class TestAllowlist:
+    def test_reasonless_entry_is_pl000(self, tmp_path):
+        py = tmp_path / "pyproject.toml"
+        py.write_text(textwrap.dedent("""
+            [tool.panda-lint]
+            allow = [
+                {path = "src/repro/foo.py", rule = "PL001", reason = ""},
+            ]
+        """))
+        entries, problems = load_allowlist(py)
+        assert entries == []
+        assert [p.rule for p in problems] == ["PL000"]
+        assert "no reason" in problems[0].message
+
+    def test_suppression_and_stale_detection(self):
+        f1 = Finding("PL001", "src/repro/foo.py", 3, "clock")
+        entries = [
+            AllowEntry("src/repro/foo.py", "PL001", "host-side timing"),
+            AllowEntry("src/repro/bar.py", "PL003", "never matches"),
+        ]
+        kept, suppressed = apply_allowlist([f1], entries, "pyproject.toml")
+        assert suppressed == [f1]
+        assert [k.rule for k in kept] == ["PL000"]
+        assert "stale" in kept[0].message
+
+    def test_fallback_parser_matches_tomllib(self):
+        text = textwrap.dedent("""
+            [tool.other]
+            allow = [{path = "decoy.py", rule = "PL999", reason = "no"}]
+
+            [tool.panda-lint]
+            allow = [
+                {path = "a.py", rule = "PL001", reason = "r one"},
+                {path = "b.py", rule = "PL003", reason = "r two"},
+            ]
+
+            [tool.after]
+            x = 1
+        """)
+        got = _parse_allow_fallback(text)
+        assert got == [
+            {"path": "a.py", "rule": "PL001", "reason": "r one"},
+            {"path": "b.py", "rule": "PL003", "reason": "r two"},
+        ]
+
+    def test_cache_roundtrip_and_invalidation(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("import time\nx = time.time()\n")
+        cache_file = tmp_path / "cache.json"
+        from repro.analysis.findings import file_digest
+
+        cache = LintCache(cache_file)
+        digest = file_digest(target)
+        assert cache.get("mod.py", digest) is None
+        findings = lint_source(target.read_text(), "mod.py")
+        cache.put("mod.py", digest, findings)
+        cache.save()
+
+        warm = LintCache(cache_file)
+        assert warm.get("mod.py", digest) == findings
+        assert warm.hits == 1
+        # content change invalidates
+        target.write_text("x = 1\n")
+        assert warm.get("mod.py", file_digest(target)) is None
+
+
+# -- protocol checker --------------------------------------------------------
+
+FIXTURE_PROTOCOL = textwrap.dedent("""
+    class Tags:
+        PING = 1
+        PONG = 2
+        ORPHAN_SEND = 3
+        ORPHAN_RECV = 4
+        DEAD = 5
+""")
+
+# PING/PONG deadlock: ping's only send waits on a PONG recv first, and
+# pong's only send waits on a PING recv first -- nobody can start.
+FIXTURE_PEERS = textwrap.dedent("""
+    from proto import Tags
+
+    def ping(comm):
+        msg = yield from comm.recv(tag=Tags.PONG)
+        yield from comm.send(1, Tags.PING, msg)
+        yield from comm.send(1, Tags.ORPHAN_SEND, None)
+
+    def pong(comm):
+        msg = yield from comm.recv(tag=Tags.PING)
+        yield from comm.send(0, Tags.PONG, msg)
+        other = yield from comm.recv(tag=Tags.ORPHAN_RECV)
+        return other
+""")
+
+
+class TestProtocolChecker:
+    def test_parse_tags(self):
+        tags = parse_tags(FIXTURE_PROTOCOL, "proto.py")
+        assert {k: v for k, (v, _line) in tags.items()} == {
+            "PING": 1, "PONG": 2, "ORPHAN_SEND": 3, "ORPHAN_RECV": 4,
+            "DEAD": 5,
+        }
+
+    def test_fixture_defects_all_reported(self):
+        report = check_sources(FIXTURE_PROTOCOL, "proto.py",
+                               {"peers.py": FIXTURE_PEERS})
+        by_rule = {}
+        for f in report.findings:
+            by_rule.setdefault(f.rule, []).append(f)
+        # unmatched send / recv / dead tag
+        assert [f.message for f in by_rule["PL101"]][0].startswith(
+            "tag ORPHAN_SEND is sent")
+        assert [f.message for f in by_rule["PL102"]][0].startswith(
+            "tag ORPHAN_RECV is received")
+        assert [f.message for f in by_rule["PL103"]][0].startswith(
+            "tag DEAD is defined")
+        assert by_rule["PL103"][0].path == "proto.py"
+        # the PING/PONG mutual guard is a deadlock cycle
+        cycles = by_rule["PL104"]
+        assert len(cycles) == 1
+        assert "PING" in cycles[0].message and "PONG" in cycles[0].message
+
+    def test_tag_set_dataflow_resolves(self):
+        peers = textwrap.dedent("""
+            from proto import Tags
+
+            def server(comm, reliable, master):
+                listen = {Tags.PING} if master else {Tags.PONG}
+                if reliable:
+                    listen.add(Tags.ORPHAN_RECV)
+                msg = yield from comm.recv(tags=listen)
+                done = Tags.ORPHAN_SEND if master else Tags.DEAD
+                yield from comm.send(0, done, msg)
+        """)
+        report = check_sources(FIXTURE_PROTOCOL, "proto.py",
+                               {"peers.py": peers})
+        recv_tags = {t for r in report.recvs for t in r.tags}
+        send_tags = {t for s in report.sends for t in s.tags}
+        assert recv_tags == {"PING", "PONG", "ORPHAN_RECV"}
+        assert send_tags == {"ORPHAN_SEND", "DEAD"}
+
+    def test_real_tree_is_clean_with_expected_guard(self):
+        report = check_tree(REPO_ROOT)
+        assert report.findings == []
+        # every defined tag is live
+        sent = {t for s in report.sends for t in s.tags}
+        received = {t for r in report.recvs for t in r.tags}
+        assert sent == received == set(report.tags)
+        # the one true guard edge: the master server gathers
+        # SERVER_DONE completions before reporting OP_DONE
+        assert report.guards == {"OP_DONE": frozenset({"SERVER_DONE"})}
+
+
+# -- race detector -----------------------------------------------------------
+
+def _racy_toy(perturb_seed: Optional[int]) -> ScenarioRun:
+    """Two same-timestamp, causally-unordered, non-commutative updates:
+    the result depends on dispatch order -- a race by construction."""
+    sim = Simulator()
+    log = sim.enable_dispatch_log()
+    if perturb_seed is not None:
+        sim.enable_perturbation(perturb_seed)
+    state = {"x": 1.0}
+
+    def double() -> None:
+        state["x"] *= 2
+
+    def add_three() -> None:
+        state["x"] += 3
+
+    sim.schedule(1.0, double)
+    sim.schedule(1.0, add_three)
+    sim.run()
+    return ScenarioRun((state["x"].hex(),), tuple(log))
+
+
+def _commutative_toy(perturb_seed: Optional[int]) -> ScenarioRun:
+    sim = Simulator()
+    log = sim.enable_dispatch_log()
+    if perturb_seed is not None:
+        sim.enable_perturbation(perturb_seed)
+    state = {"x": 0.0}
+
+    def bump() -> None:
+        state["x"] += 1
+
+    for _ in range(4):
+        sim.schedule(1.0, bump)
+    sim.run()
+    return ScenarioRun((state["x"].hex(),), tuple(log))
+
+
+class TestRaceDetector:
+    def test_racy_toy_is_caught_with_diverging_pair(self):
+        report = detect([Scenario("racy-toy", _racy_toy)],
+                        seeds=(1, 2, 3, 4, 5))
+        assert not report.ok
+        d = report.divergences[0]
+        assert d.scenario == "racy-toy"
+        # the schedules split at the very first same-time pair
+        assert d.event_index == 0
+        assert d.baseline_event is not None
+        assert d.perturbed_event is not None
+        assert d.baseline_event != d.perturbed_event
+        assert "first diverging event pair" in d.describe()
+
+    def test_order_insensitive_toy_passes(self):
+        report = detect([Scenario("commutative", _commutative_toy)],
+                        seeds=(1, 2, 3, 4, 5))
+        assert report.ok
+        assert report.runs == 5
+
+    def test_logged_baseline_equals_unlogged_run(self):
+        """enable_dispatch_log alone must not change dispatch order:
+        the instrumented loop's unperturbed choice is exactly the fast
+        loop's (time, seq) order."""
+        plain = Simulator()
+        vals = []
+        logged = Simulator()
+        logged.enable_dispatch_log()
+        lvals = []
+        for i in range(5):
+            plain.schedule(0.5, vals.append, i)
+            plain.schedule(0.5, vals.append, i + 10)
+            logged.schedule(0.5, lvals.append, i)
+            logged.schedule(0.5, lvals.append, i + 10)
+        plain.run()
+        logged.run()
+        assert vals == lvals
+
+    def test_panda_scenarios_survive_perturbation(self):
+        """Representative ops (natural + reorganizing schema) are
+        schedule-independent; the full sweep incl. faults runs in CI
+        (python -m repro race)."""
+        report = detect(panda_scenarios(with_faults=False), seeds=(1, 2))
+        assert report.ok, report.summary()
+
+
+# -- the composed lint + CLI --------------------------------------------------
+
+class TestRunLint:
+    def test_real_tree_lints_clean(self):
+        result = run_lint(REPO_ROOT, use_cache=False)
+        assert result.ok, "\n".join(result.lines())
+        assert result.findings == []
+
+    def test_cli_lint_json(self, capsys):
+        from repro.cli import main
+
+        rc = main(["lint", "--root", str(REPO_ROOT), "--no-cache",
+                   "--format", "json"])
+        out = capsys.readouterr().out
+        doc = json.loads(out)
+        assert rc == 0
+        assert doc["ok"] is True
+        assert doc["findings"] == []
+        assert "PL104" in doc["rules"]
+
+    def test_cli_lint_rejects_non_root(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(["lint", "--root", str(tmp_path)])
+        assert rc == 2
+        assert "pyproject" in capsys.readouterr().err
+
+    def test_cli_race_subcommand(self, capsys):
+        from repro.cli import main
+
+        rc = main(["race", "--seeds", "2", "--no-faults"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "all schedules agree" in out
