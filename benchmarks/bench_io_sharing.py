@@ -6,15 +6,17 @@ node sharing on i/o-intensive applications."  (paper, section 5)
 
 We run the experiment the paper only poses: two I/O-intensive
 applications, either each with its own dedicated I/O nodes or both
-sharing a pool of the same total size, and measure per-application and
-combined completion times.
+sharing a pool of the same total size.  The shared pool is routed
+through the inter-op scheduler (:mod:`repro.core.scheduler`); the
+paper's unscheduled head-of-line loop stays as the baseline column.
 
-Finding (published below): Panda servers serve collectives FIFO, so
-sharing a pool gives the first-arriving application the *whole* pool's
-bandwidth (finishing faster than with its dedicated half) while the
-second queues -- combined completion is about the same, but per-app
-latency becomes arrival-order dependent.  Dedicated nodes give
-predictable isolation; a shared pool gives better best-case latency.
+Finding (published below): under FIFO scheduling the shared pool gives
+the first-arriving application the *whole* pool's bandwidth (it
+finishes faster than with its dedicated half) while the second queues
+-- combined completion is about the same, but per-app latency is
+arrival-order dependent.  The fair-share policy trades that best-case
+latency away for near-identical turnarounds (spread shrinks ~50x),
+recovering dedicated-node predictability on shared hardware.
 """
 
 import numpy as np
@@ -23,7 +25,15 @@ import pytest
 from conftest import publish, run_once
 
 from repro.bench.report import format_rows
-from repro.core import Array, ArrayGroup, ArrayLayout, BLOCK, PandaRuntime
+from repro.core import (
+    Array,
+    ArrayGroup,
+    ArrayLayout,
+    BLOCK,
+    PandaConfig,
+    PandaRuntime,
+    SchedulerConfig,
+)
 
 SHAPE = (128, 128, 128)  # 16 MB per application
 
@@ -51,9 +61,12 @@ def dedicated() -> dict:
     return times
 
 
-def shared() -> dict:
-    """Both apps (4 compute nodes each) share one 4-I/O-node pool."""
-    rt = PandaRuntime(n_compute=8, n_io=4, real_payloads=False)
+def shared(policy=None) -> dict:
+    """Both apps (4 compute nodes each) share one 4-I/O-node pool,
+    scheduled by ``policy`` (None: the paper's unscheduled loop)."""
+    sched = SchedulerConfig(policy=policy) if policy else None
+    rt = PandaRuntime(n_compute=8, n_io=4, real_payloads=False,
+                      config=PandaConfig(scheduler=sched))
     res = rt.run_partitioned([
         (writer_app("a"), (0, 1, 2, 3)),
         (writer_app("b"), (4, 5, 6, 7)),
@@ -63,40 +76,59 @@ def shared() -> dict:
 
 @pytest.fixture(scope="module")
 def times():
-    return dedicated(), shared()
+    return dedicated(), shared(), shared("fifo"), shared("fair")
 
 
 def test_publish_sharing_study(benchmark, times):
     run_once(benchmark, lambda: None)
-    ded, shr = times
+    ded, base, fifo, fair = times
     rows = [
-        ["app a", f"{ded['a']:.2f}", f"{shr['a']:.2f}"],
-        ["app b", f"{ded['b']:.2f}", f"{shr['b']:.2f}"],
+        ["app a", f"{ded['a']:.2f}", f"{base['a']:.2f}",
+         f"{fifo['a']:.2f}", f"{fair['a']:.2f}"],
+        ["app b", f"{ded['b']:.2f}", f"{base['b']:.2f}",
+         f"{fifo['b']:.2f}", f"{fair['b']:.2f}"],
         ["combined (max)", f"{max(ded.values()):.2f}",
-         f"{max(shr.values()):.2f}"],
+         f"{max(base.values()):.2f}", f"{max(fifo.values()):.2f}",
+         f"{max(fair.values()):.2f}"],
     ]
     publish("I/O-node sharing: 2 apps x 16 MB writes; dedicated 2+2 "
-            "ionodes vs shared pool of 4 (elapsed, s)\n\n"
-            + format_rows(rows, ["", "dedicated", "shared pool"]))
+            "ionodes vs shared pool of 4 under the inter-op scheduler "
+            "(elapsed, s)\n\n"
+            + format_rows(rows, ["", "dedicated", "shared unsched",
+                                 "shared fifo", "shared fair"]))
 
 
 def test_winner_gets_the_whole_pool(times):
-    ded, shr = times
-    assert min(shr.values()) < 0.6 * ded["a"]
+    """FIFO-scheduled sharing keeps the head-of-line win: the first
+    arrival beats its dedicated-half time."""
+    ded, _base, fifo, _fair = times
+    assert min(fifo.values()) < 0.7 * ded["a"]
 
 
 def test_loser_queues_behind_the_winner(times):
-    ded, shr = times
-    assert max(shr.values()) > 1.4 * min(shr.values())
+    ded, _base, fifo, _fair = times
+    assert max(fifo.values()) > 1.4 * min(fifo.values())
+
+
+def test_fair_share_evens_turnarounds(times):
+    """The fair policy's reason to exist: per-app spread collapses
+    versus FIFO on the same shared pool."""
+    _ded, _base, fifo, fair = times
+    fifo_spread = max(fifo.values()) - min(fifo.values())
+    fair_spread = max(fair.values()) - min(fair.values())
+    assert fair_spread < 0.2 * fifo_spread
 
 
 def test_combined_completion_comparable(times):
     """Total disk work is identical, so the makespan is within ~15%
-    either way (the shared pool wins slightly: no idle servers)."""
-    ded, shr = times
-    assert max(shr.values()) == pytest.approx(max(ded.values()), rel=0.15)
+    of dedicated for every shared variant (scheduling redistributes
+    latency, not bandwidth)."""
+    ded, base, fifo, fair = times
+    for shr in (base, fifo, fair):
+        assert max(shr.values()) == pytest.approx(max(ded.values()),
+                                                  rel=0.15)
 
 
 def test_dedicated_runs_are_symmetric(times):
-    ded, _ = times
+    ded, _base, _fifo, _fair = times
     assert ded["a"] == pytest.approx(ded["b"], rel=1e-9)

@@ -231,15 +231,55 @@ def _roundtrip_scenario(
     return Scenario(name, run)
 
 
+def _scheduled_scenario(policy: str) -> Scenario:
+    """Concurrent collective writes under one inter-op scheduling
+    policy.  Group *i* computes ``i * stagger`` before its REQUEST, so
+    arrival order (and therefore the whole admission schedule) is
+    causal rather than a same-timestamp dispatch coincidence -- which
+    is exactly the property perturbation then verifies."""
+
+    def run(perturb_seed: Optional[int]) -> ScenarioRun:
+        from repro.bench.sched import run_concurrent_writes
+
+        live_log: List[DispatchLog] = []
+
+        def hook(runtime: object) -> None:
+            sim = runtime.sim  # type: ignore[attr-defined]
+            live_log.append(sim.enable_dispatch_log())
+            if perturb_seed is not None:
+                sim.enable_perturbation(perturb_seed)
+
+        result, stats = run_concurrent_writes(
+            policy, n_apps=4, n_io=2, size_mb=16, max_in_flight=2,
+            stagger=1e-3, runtime_hook=hook,
+        )
+        assert stats is not None
+        fingerprint = tuple(
+            f"{r.admit_seq}:{r.dataset}:{r.arrived.hex()}:"
+            f"{r.admitted.hex()}:{r.completed.hex()}:{r.moved}"
+            for r in stats.ops
+        ) + tuple(
+            f"{op.kind}:{op.elapsed.hex()}:{op.total_bytes}"
+            for op in result.ops
+        )
+        return ScenarioRun(fingerprint, tuple(live_log[0]))
+
+    return Scenario(f"sched-{policy}", run)
+
+
 def panda_scenarios(with_faults: bool = True) -> List[Scenario]:
     """The representative op set: read+write roundtrips over natural
-    and reorganizing schemas, without and (optionally) with faults."""
+    and reorganizing schemas, concurrent scheduled writes under every
+    policy, and (optionally) the fault paths."""
+    from repro.core.scheduler import POLICIES
+
     scenarios = [
         _roundtrip_scenario("natural-roundtrip", reorganize=False,
                             faults=None, real_payloads=True),
         _roundtrip_scenario("reorg-roundtrip", reorganize=True,
                             faults=None, real_payloads=False),
     ]
+    scenarios.extend(_scheduled_scenario(p) for p in POLICIES)
     if with_faults:
         from repro.faults import FaultSpec
 

@@ -12,6 +12,8 @@ Usage::
         --out panda-trace.json               # Perfetto trace + verdict
     python -m repro lint                     # panda-lint static analysis
     python -m repro race --seeds 5           # schedule-perturbation sweep
+    python -m repro sched --apps 4 --policy all \\
+                                             # concurrent-op scheduler demo
 
 Everything prints the same tables the benchmark suite publishes to
 ``benchmarks/results.txt``.
@@ -262,6 +264,47 @@ def cmd_race(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_sched(args: argparse.Namespace) -> int:
+    """Concurrent collective ops through the inter-op scheduler: run
+    ``--apps`` independent client groups writing simultaneously and
+    compare the turnaround profile per policy (plus the paper's
+    unscheduled head-of-line baseline)."""
+    from repro.bench.sched import run_concurrent_writes
+    from repro.core.scheduler import POLICIES
+
+    policies: List[Optional[str]]
+    policies = list(POLICIES) if args.policy == "all" else [args.policy]
+    if args.baseline:
+        policies.append(None)
+    priorities = None
+    if args.priorities:
+        if len(args.priorities) != args.apps:
+            print(f"--priorities needs exactly {args.apps} values",
+                  file=sys.stderr)
+            return 2
+        priorities = args.priorities
+    for policy in policies:
+        result, stats = run_concurrent_writes(
+            policy, args.apps, n_compute=args.compute, n_io=args.io,
+            size_mb=args.size_mb, priorities=priorities,
+        )
+        if stats is None:
+            print("unscheduled baseline (head-of-line, one op at a time):")
+            for op in result.ops:
+                print(f"  op {op.op_id} {op.dataset:20s} "
+                      f"elapsed {op.elapsed:7.3f} s")
+        else:
+            done = stats.completed_ops()
+            makespan = (max(r.completed for r in done)
+                        - min(r.arrived for r in done)) if done else 0.0
+            print(stats.summary())
+            print(f"  makespan {makespan:.3f} s, "
+                  f"turnaround spread {stats.turnaround_spread():.3f} s, "
+                  f"mean {stats.mean_turnaround():.3f} s")
+        print()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -336,6 +379,28 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip the fault-mode scenarios")
     p_race.add_argument("--format", choices=["text", "json"], default="text")
     p_race.set_defaults(func=cmd_race)
+
+    p_sched = sub.add_parser(
+        "sched",
+        help="concurrent collective ops through the inter-op scheduler "
+             "(per-op queue-wait / turnaround table per policy)",
+    )
+    p_sched.add_argument("--apps", type=int, default=4,
+                         help="concurrent client groups (default 4)")
+    p_sched.add_argument("--policy", default="all",
+                         choices=["fifo", "sjf", "fair", "all"])
+    p_sched.add_argument("--compute", type=int, default=8)
+    p_sched.add_argument("--io", type=int, default=4)
+    p_sched.add_argument("--size-mb", type=int, default=16,
+                         help="array size per app in MB (default 16)")
+    p_sched.add_argument("--priorities",
+                         type=lambda s: [int(x) for x in s.split(",")],
+                         help="comma-separated fair-share weights, one "
+                              "per app (default all 1)")
+    p_sched.add_argument("--baseline", action="store_true",
+                         help="also run the unscheduled head-of-line "
+                              "baseline")
+    p_sched.set_defaults(func=cmd_sched)
 
     return parser
 

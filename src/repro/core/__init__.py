@@ -35,6 +35,7 @@ from repro.core.recovery import (
     recovery_file,
 )
 from repro.core.runtime import ClientContext, OpRecord, PandaRuntime, RunResult
+from repro.core.scheduler import SchedStats, SchedulerConfig
 
 __all__ = [
     "Array",
@@ -51,6 +52,8 @@ __all__ = [
     "PandaRuntime",
     "RecoveryAssignment",
     "RunResult",
+    "SchedStats",
+    "SchedulerConfig",
     "ServerPlan",
     "SubchunkPlan",
     "best_disk_schema",

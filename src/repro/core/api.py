@@ -214,19 +214,21 @@ class ArrayGroup:
         )
         return result
 
-    def write(self, ctx, dataset: Optional[str] = None):
-        """Write the whole group to a named dataset."""
+    def write(self, ctx, dataset: Optional[str] = None, priority: int = 1):
+        """Write the whole group to a named dataset.  ``priority`` is
+        the op's fair-share weight under an inter-op scheduler."""
         result = yield from ctx.panda.collective(
             "write", self.specs(), dataset or self.name,
-            schema_file=self.schema_file,
+            schema_file=self.schema_file, priority=priority,
         )
         return result
 
-    def read(self, ctx, dataset: Optional[str] = None):
-        """Read the whole group from a named dataset."""
+    def read(self, ctx, dataset: Optional[str] = None, priority: int = 1):
+        """Read the whole group from a named dataset.  ``priority`` is
+        the op's fair-share weight under an inter-op scheduler."""
         result = yield from ctx.panda.collective(
             "read", self.specs(), dataset or self.name,
-            schema_file=self.schema_file,
+            schema_file=self.schema_file, priority=priority,
         )
         return result
 

@@ -166,13 +166,16 @@ class PandaClient:
 
     # -- the collective operation -------------------------------------------
     def collective(self, kind: str, specs: Tuple[ArraySpec, ...], dataset: str,
-                   schema_file: Optional[str] = None):
+                   schema_file: Optional[str] = None, priority: int = 1):
         """Process helper: one collective read or write.  Returns this
         rank's :class:`OpRecord` view (op_id, elapsed is finalised by
-        the runtime's log)."""
+        the runtime's log).  ``priority`` is the op's fair-share weight
+        when an inter-op scheduler is configured (all ranks of the group
+        must pass the same value -- consistency-checked)."""
         op = CollectiveOp(
             op_id=self._state["op_serial"], kind=kind, dataset=dataset,
             arrays=tuple(specs), client_ranks=self.group_ranks,
+            priority=priority,
         )
         self._state["op_serial"] += 1
         # validate local bindings up front (real mode requires data for

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.scheduler import SchedulerConfig
 from repro.faults import FaultSpec
 from repro.machine import MB
 
@@ -43,6 +44,11 @@ class PandaConfig:
     #: model entirely: every fault-free code path and simulated timing
     #: is identical to a build without this subsystem.
     faults: Optional[FaultSpec] = None
+    #: inter-op admission control + scheduling (see
+    #: :class:`repro.core.scheduler.SchedulerConfig`).  ``None`` (the
+    #: default) keeps the paper's one-op-at-a-time server loop and its
+    #: simulated timings bit-identical.
+    scheduler: Optional[SchedulerConfig] = None
 
     def __post_init__(self) -> None:
         if self.sub_chunk_bytes < 1:

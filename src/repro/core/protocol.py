@@ -14,10 +14,20 @@ server completion      server -> master server                  SERVER_DONE
 op completion          master server -> master client           OP_DONE
 op completion          master client -> other clients           CLIENT_DONE
 shutdown               runtime -> servers                       SHUTDOWN
+SchedOp                master server -> other servers           SCHED
 =====================  =======================================  ==========
 
 Everything except PieceData is control-plane (256-byte wire size);
 PieceData charges its payload bytes.
+
+Op-id tagging: every data-plane payload (FetchRequest, PieceData,
+PieceAck) carries the originating op's ``op_id`` and the server-side
+``subchunk_seq``, and receivers match on both -- so once the inter-op
+scheduler (SCHED, :mod:`repro.core.scheduler`) puts several collectives
+in flight on the same servers, a piece can never be absorbed into the
+wrong operation.  Because per-group ``op_id`` counters restart at 0 in
+every client group, cross-group completion routing additionally uses
+the scheduler's globally unique ``admit_seq`` (:class:`ServerDone`).
 """
 
 from __future__ import annotations
@@ -60,6 +70,10 @@ class Tags:
     #: fault mode only -- master server hands a surviving server part of
     #: a crashed server's plan (see :mod:`repro.core.recovery`).
     RECOVER = 20
+    #: scheduled mode only -- master server broadcasts an admitted op
+    #: plus scheduling metadata (see :mod:`repro.core.scheduler`);
+    #: replaces SCHEMA when an inter-op scheduler is configured.
+    SCHED = 21
 
 
 @dataclass(frozen=True)
@@ -126,6 +140,10 @@ class CollectiveOp:
     dataset: str  #: logical dataset name; determines server file names
     arrays: Tuple[ArraySpec, ...]
     client_ranks: Tuple[int, ...] = ()
+    #: fair-share weight when an inter-op scheduler is configured: an op
+    #: with priority 2 receives twice the service of a priority-1 op
+    #: while both are in flight.  Ignored by the unscheduled path.
+    priority: int = 1
 
     def __post_init__(self) -> None:
         if self.kind not in ("write", "read"):
@@ -138,6 +156,8 @@ class CollectiveOp:
         object.__setattr__(self, "client_ranks", tuple(self.client_ranks))
         if len(set(self.client_ranks)) != len(self.client_ranks):
             raise ValueError("duplicate ranks in client group")
+        if self.priority < 1:
+            raise ValueError(f"op priority must be >= 1, got {self.priority}")
 
     @property
     def master_client(self) -> int:
@@ -157,6 +177,7 @@ class CollectiveOp:
             self.kind,
             self.dataset,
             self.client_ranks,
+            self.priority,
             tuple(
                 (a.name, a.shape, a.itemsize, a.memory_schema, a.disk_schema)
                 for a in self.arrays
@@ -221,3 +242,8 @@ class ServerDone:
     server_index: int
     bytes_moved: int
     recovery: bool = False
+    #: scheduled mode only: the scheduler's globally unique admission
+    #: sequence number.  Per-group ``op_id`` counters all start at 0, so
+    #: with several client groups in flight this is what routes a
+    #: completion to the right op.  -1 on the unscheduled path.
+    admit_seq: int = -1

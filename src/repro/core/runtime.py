@@ -193,6 +193,8 @@ class RunResult:
                 f"in {o.elapsed:8.3f} s = {o.throughput / MB:7.2f} MB/s"
             )
         lines.append(utilization(self.runtime).summary())
+        if self.runtime.sched_stats is not None:
+            lines.append(self.runtime.sched_stats.summary())
         if self.trace is not None and self.elapsed > 0:
             from repro.obs.critical_path import analyze
 
@@ -283,6 +285,11 @@ class PandaRuntime:
         #: instead of its (possibly partial) own file.  Persists across
         #: runs, like the catalog.
         self.relocations: Dict[str, Dict[int, tuple]] = {}
+        #: scheduled mode (``config.scheduler`` set): the master
+        #: server's per-op queue-wait/turnaround observations
+        #: (:class:`repro.core.scheduler.SchedStats`); replaced at the
+        #: start of each run, ``None`` on the unscheduled path.
+        self.sched_stats = None
         self._client_state: Dict[int, dict] = {r: {} for r in range(n_compute)}
 
     # -- rank arithmetic ------------------------------------------------------
@@ -423,6 +430,16 @@ class PandaRuntime:
         self.crashed_servers = set()  # a fresh run repairs every node
         server_procs = []
         for i in range(self.n_io):
+            # reboot semantics: messages queued for a node that died in
+            # a previous run (e.g. the supervisor's SHUTDOWN) are lost
+            # with it -- the reborn server must not consume them, and
+            # the dead process's pending getters must not steal this
+            # run's deliveries.  A healthy node's mailbox is empty
+            # here, so this is a no-op outside crash recovery.
+            stale = self.network.mailboxes[self.server_rank(i)].clear()
+            if stale and self.trace is not None:
+                self.trace.emit(t0, "runtime", "mailbox_purged",
+                                server_index=i, dropped=stale)
             server = PandaServer(
                 self, i, self.network.comm(self.server_rank(i)),
                 self.filesystems[i],

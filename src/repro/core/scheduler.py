@@ -1,0 +1,464 @@
+"""Admission control and inter-op scheduling for concurrent collectives.
+
+The paper's Panda serves one collective operation at a time: the master
+server takes the next REQUEST only after the previous op completed, so
+concurrent client groups queue head-of-line (see
+``benchmarks/bench_io_sharing.py``).  This module adds the layer a
+production deployment needs once many applications share the I/O
+nodes: multiple collective operations in flight on the same servers,
+interleaved at **sub-chunk granularity** under a pluggable policy.
+
+Architecture (all messaging stays in :mod:`repro.core.server`; this
+module is pure scheduling state):
+
+- The master server keeps a bounded :class:`AdmissionQueue` of arrived
+  REQUESTs.  Backpressure is physical: while the queue is full the
+  master simply does not take further REQUESTs out of its mailbox, so
+  the queue length never exceeds its bound.
+- Admission fills up to ``max_in_flight`` concurrent slots.  An op is
+  *eligible* when it conflicts with no in-flight op and no
+  earlier-arrived queued op (two ops conflict when they touch the same
+  dataset and either writes) -- same-dataset ops therefore serialize in
+  arrival order, which is what makes every interleaving byte-equivalent
+  to the serial execution (``tests/test_scheduler_equivalence.py``).
+- On admission the master broadcasts a :class:`SchedOp` (tag SCHED)
+  carrying the op plus identical scheduling metadata to every server,
+  so each server's policy makes the same decisions with no server-to-
+  server communication -- preserving the paper's architectural rule.
+- Each server runs one :class:`ServerScheduler`: the policy picks which
+  admitted op's *next sub-chunk* to service; within an op, sub-chunks
+  are always issued in plan order against the op's own file, so each
+  op's per-file sequentiality guarantee is untouched.
+
+Policies (deterministic, per-server, identical inputs on all servers):
+
+- ``fifo``   -- run admitted ops to completion in arrival order.
+- ``sjf``    -- shortest job first by the :mod:`~repro.core.costmodel`
+  elapsed-time estimate, preemptive at sub-chunk boundaries; admission
+  also prefers the shortest eligible queued op.
+- ``fair``   -- deficit round-robin in bytes over the in-flight ops,
+  weighted by each op's ``priority`` (a weight-2 op receives twice the
+  service of a weight-1 op while both are active).
+
+This module imports nothing from the rest of :mod:`repro.core` at
+module level so that :mod:`repro.core.config` can import
+:class:`SchedulerConfig` without an import cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # avoid import cycles; annotations are strings
+    from repro.core.protocol import CollectiveOp
+    from repro.core.recovery import RecoveryAssignment
+
+__all__ = [
+    "AdmissionQueue",
+    "OpProgress",
+    "OpSchedRecord",
+    "SchedOp",
+    "SchedStats",
+    "SchedulerConfig",
+    "ServerScheduler",
+    "estimate_op",
+]
+
+POLICIES = ("fifo", "sjf", "fair")
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Turns on the inter-op scheduler.
+
+    Attach via ``PandaConfig(scheduler=SchedulerConfig(policy="fair"))``.
+    ``scheduler=None`` (the default) keeps the paper's one-op-at-a-time
+    server loop -- and every simulated timing -- bit-identical.
+    """
+
+    #: service policy: "fifo", "sjf" or "fair" (see module docstring).
+    policy: str = "fifo"
+    #: concurrent operations in service at once; further admissions wait.
+    max_in_flight: int = 4
+    #: bounded admission queue: REQUESTs beyond this stay in the master's
+    #: mailbox (backpressure), so the queue never exceeds this length.
+    queue_limit: int = 16
+    #: fair-share deficit quantum in bytes per round, scaled by each
+    #: op's priority weight.
+    quantum_bytes: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown scheduling policy {self.policy!r}; "
+                f"known: {POLICIES}"
+            )
+        if self.max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if self.quantum_bytes < 1:
+            raise ValueError("quantum_bytes must be >= 1")
+
+
+@dataclass(frozen=True)
+class SchedOp:
+    """Wire payload, master server -> other servers (tag SCHED): one
+    admitted op plus the scheduling metadata every server's policy needs
+    to make identical decisions, and (fault mode) the same degraded-mode
+    directives a :class:`~repro.core.recovery.SchemaMsg` carries."""
+
+    op: "CollectiveOp"
+    #: arrival sequence number at the master -- unique across groups for
+    #: the lifetime of the runtime, so it disambiguates ops whose
+    #: per-group ``op_id`` collide (two groups both start at op 0).
+    admit_seq: int
+    priority: int
+    #: cost-model elapsed-time estimate (the SJF key).
+    estimate: float
+    skip: Tuple[int, ...] = ()
+    recoveries: Tuple["RecoveryAssignment", ...] = ()
+
+
+def estimate_op(op: "CollectiveOp", n_io: int, spec: Any,
+                config: Any) -> float:
+    """The cost model's elapsed-time prediction for one op -- the SJF
+    admission/service key.  Imported lazily to keep this module free of
+    core imports."""
+    from repro.core.costmodel import predict
+
+    return predict(op, len(op.client_ranks), n_io, spec, config).elapsed
+
+
+# -- per-server execution state ---------------------------------------------
+
+@dataclass
+class _Segment:
+    """One file's worth of contiguous work: the op's own plan portion,
+    or one recovery assignment relocated to this server."""
+
+    file_name: str
+    items: tuple
+
+
+class OpProgress:
+    """One op's execution cursor on one server.
+
+    ``segments`` are processed strictly in order, and items within a
+    segment strictly in plan order -- the per-file sequentiality
+    invariant.  The scheduler only ever interleaves *between* ops."""
+
+    __slots__ = ("sched", "op", "segments", "seg_index", "item_index",
+                 "fh", "moved", "deficit")
+
+    def __init__(self, sched: SchedOp, segments: List[_Segment]) -> None:
+        self.sched = sched
+        self.op = sched.op
+        self.segments = segments
+        self.seg_index = 0
+        self.item_index = 0
+        self.fh: Any = None  #: open FileHandle of the current segment
+        self.moved = 0
+        self.deficit = 0.0  #: fair-share deficit counter, bytes
+
+    @property
+    def done(self) -> bool:
+        return self.seg_index >= len(self.segments)
+
+    @property
+    def next_nbytes(self) -> int:
+        """Size of the next sub-chunk (0 when only the segment close /
+        fsync remains)."""
+        seg = self.segments[self.seg_index]
+        if self.item_index < len(seg.items):
+            return seg.items[self.item_index].nbytes
+        return 0
+
+    @property
+    def weight(self) -> int:
+        return max(1, self.sched.priority)
+
+
+# -- policies ----------------------------------------------------------------
+
+class _Policy:
+    """Service-order policy: which active op's next sub-chunk to issue.
+    All state updates are driven by admission order and byte counts, so
+    every server reaches identical decisions independently."""
+
+    name = "base"
+
+    def admission_key(self, seq: int, estimate: float) -> tuple:
+        """Sort key among *eligible* queued ops at admission time."""
+        return (seq,)
+
+    def admitted(self, p: OpProgress) -> None:
+        pass
+
+    def finished(self, p: OpProgress) -> None:
+        pass
+
+    def charged(self, p: OpProgress, nbytes: int) -> None:
+        pass
+
+    def select(self, active: List[OpProgress]) -> OpProgress:
+        raise NotImplementedError
+
+
+class FifoPolicy(_Policy):
+    """Run admitted ops to completion in admission order."""
+
+    name = "fifo"
+
+    def select(self, active: List[OpProgress]) -> OpProgress:
+        return min(active, key=lambda p: p.sched.admit_seq)
+
+
+class SJFPolicy(_Policy):
+    """Shortest estimated job first, preemptive at sub-chunk
+    boundaries: a newly admitted shorter op takes over at the next
+    boundary.  Ties break by admission order."""
+
+    name = "sjf"
+
+    def admission_key(self, seq: int, estimate: float) -> tuple:
+        return (estimate, seq)
+
+    def select(self, active: List[OpProgress]) -> OpProgress:
+        return min(active, key=lambda p: (p.sched.estimate,
+                                          p.sched.admit_seq))
+
+
+class FairSharePolicy(_Policy):
+    """Deficit round-robin in bytes, weighted by op priority.
+
+    Each op accumulates ``quantum * weight`` bytes of credit per
+    rotation visit and is serviced while its credit covers the next
+    sub-chunk -- so over time each active op receives service
+    proportional to its weight, regardless of sub-chunk sizes."""
+
+    name = "fair"
+
+    def __init__(self, quantum_bytes: int) -> None:
+        self.quantum = quantum_bytes
+        self._ring: Deque[int] = deque()
+
+    def admitted(self, p: OpProgress) -> None:
+        self._ring.append(p.sched.admit_seq)
+
+    def finished(self, p: OpProgress) -> None:
+        self._ring.remove(p.sched.admit_seq)
+
+    def charged(self, p: OpProgress, nbytes: int) -> None:
+        p.deficit -= nbytes
+
+    def select(self, active: List[OpProgress]) -> OpProgress:
+        by_seq = {p.sched.admit_seq: p for p in active}
+        while True:
+            p = by_seq[self._ring[0]]
+            if p.deficit >= p.next_nbytes:
+                return p
+            p.deficit += self.quantum * p.weight
+            self._ring.rotate(-1)
+
+
+def make_policy(config: SchedulerConfig) -> _Policy:
+    if config.policy == "fifo":
+        return FifoPolicy()
+    if config.policy == "sjf":
+        return SJFPolicy()
+    return FairSharePolicy(config.quantum_bytes)
+
+
+class ServerScheduler:
+    """One server's view of the in-flight op set plus the policy that
+    orders their sub-chunk service."""
+
+    def __init__(self, config: SchedulerConfig, server_index: int) -> None:
+        self.config = config
+        self.server_index = server_index
+        self.policy = make_policy(config)
+        self.active: Dict[int, OpProgress] = {}
+
+    @property
+    def idle(self) -> bool:
+        return not self.active
+
+    def start(self, sched: SchedOp, plan: Any,
+              assignments: tuple) -> OpProgress:
+        """Begin executing one admitted op on this server: its own plan
+        portion (unless directed to skip it) followed by any recovery
+        assignments relocated here."""
+        segments: List[_Segment] = []
+        if self.server_index not in sched.skip:
+            segments.append(_Segment(plan.file_name, plan.items))
+        for a in assignments:
+            segments.append(_Segment(a.file_name, a.items))
+        p = OpProgress(sched, segments)
+        self.active[sched.admit_seq] = p
+        self.policy.admitted(p)
+        return p
+
+    def pick(self) -> Optional[OpProgress]:
+        """The op whose next sub-chunk this server should issue, or
+        None when no admitted op has work left."""
+        runnable = [p for p in self.active.values() if not p.done]
+        if not runnable:
+            return None
+        return self.policy.select(runnable)
+
+    def finish(self, p: OpProgress) -> None:
+        del self.active[p.sched.admit_seq]
+        self.policy.finished(p)
+
+
+# -- master-side admission ---------------------------------------------------
+
+@dataclass
+class _Arrival:
+    """One queued REQUEST awaiting admission."""
+
+    seq: int
+    op: "CollectiveOp"
+    estimate: float
+    arrived: float
+
+
+def _conflicts(a: "CollectiveOp", b: "CollectiveOp") -> bool:
+    """Two ops conflict when they touch the same dataset and either
+    writes; concurrent readers of one dataset commute."""
+    return a.dataset == b.dataset and (a.kind == "write" or b.kind == "write")
+
+
+class AdmissionQueue:
+    """The master server's bounded arrival buffer.
+
+    ``push`` refuses beyond ``limit`` -- but the server never lets it
+    come to that: while the queue is full it stops taking REQUESTs out
+    of its mailbox, which is where the backpressure actually lives."""
+
+    def __init__(self, limit: int, policy: _Policy) -> None:
+        self.limit = limit
+        self.policy = policy
+        self._q: List[_Arrival] = []
+        self._next_seq = 0
+        self.peak = 0
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    @property
+    def full(self) -> bool:
+        return len(self._q) >= self.limit
+
+    def push(self, op: "CollectiveOp", estimate: float,
+             now: float) -> _Arrival:
+        if self.full:
+            raise RuntimeError(
+                f"admission queue overflow (limit {self.limit}); the "
+                "server must stop draining REQUESTs while the queue is "
+                "full"
+            )
+        entry = _Arrival(self._next_seq, op, estimate, now)
+        self._next_seq += 1
+        self._q.append(entry)
+        self.peak = max(self.peak, len(self._q))
+        return entry
+
+    def admissible(self, in_flight: List["CollectiveOp"]) -> Optional[_Arrival]:
+        """The next arrival the policy may admit: conflict-free against
+        every in-flight op and every *earlier-arrived* queued op (so
+        same-dataset ops keep their arrival order -- the serial-
+        equivalence invariant)."""
+        eligible: List[_Arrival] = []
+        for i, e in enumerate(self._q):
+            if any(_conflicts(e.op, op) for op in in_flight):
+                continue
+            if any(_conflicts(e.op, self._q[j].op) for j in range(i)):
+                continue
+            eligible.append(e)
+        if not eligible:
+            return None
+        return min(eligible,
+                   key=lambda e: self.policy.admission_key(e.seq, e.estimate))
+
+    def remove(self, entry: _Arrival) -> None:
+        self._q.remove(entry)
+
+
+# -- per-op metrics ----------------------------------------------------------
+
+@dataclass
+class OpSchedRecord:
+    """Queue-wait / turnaround bookkeeping for one scheduled op."""
+
+    admit_seq: int
+    op_id: int
+    group: Tuple[int, ...]
+    dataset: str
+    kind: str
+    priority: int
+    estimate: float
+    arrived: float
+    admitted: Optional[float] = None
+    completed: Optional[float] = None
+    moved: int = 0
+
+    @property
+    def queue_wait(self) -> float:
+        """Arrival at the master -> admission (SCHED broadcast)."""
+        if self.admitted is None:
+            raise ValueError(f"op {self.admit_seq} was never admitted")
+        return self.admitted - self.arrived
+
+    @property
+    def turnaround(self) -> float:
+        """Arrival at the master -> OP_DONE sent."""
+        if self.completed is None:
+            raise ValueError(f"op {self.admit_seq} never completed")
+        return self.completed - self.arrived
+
+
+@dataclass
+class SchedStats:
+    """One run's scheduler observations, exposed on
+    ``runtime.sched_stats`` by the master server."""
+
+    policy: str
+    records: Dict[int, OpSchedRecord] = field(default_factory=dict)
+    queue_peak: int = 0
+    in_flight_peak: int = 0
+
+    @property
+    def ops(self) -> List[OpSchedRecord]:
+        return [self.records[k] for k in sorted(self.records)]
+
+    def completed_ops(self) -> List[OpSchedRecord]:
+        return [r for r in self.ops if r.completed is not None]
+
+    def turnaround_spread(self) -> float:
+        """max - min turnaround over completed ops: the latency-fairness
+        figure of merit the fair-share policy is built to shrink."""
+        ts = [r.turnaround for r in self.completed_ops()]
+        return max(ts) - min(ts) if ts else 0.0
+
+    def mean_turnaround(self) -> float:
+        ts = [r.turnaround for r in self.completed_ops()]
+        return sum(ts) / len(ts) if ts else 0.0
+
+    def summary(self) -> str:
+        done = self.completed_ops()
+        lines = [
+            f"scheduler ({self.policy}): {len(done)} op(s) served, "
+            f"queue peak {self.queue_peak}, "
+            f"in-flight peak {self.in_flight_peak}"
+        ]
+        for r in done:
+            lines.append(
+                f"  op {r.admit_seq:3d} {r.kind:5s} {r.dataset:20s} "
+                f"prio {r.priority} waited {r.queue_wait:7.3f} s, "
+                f"turnaround {r.turnaround:7.3f} s"
+            )
+        return "\n".join(lines)

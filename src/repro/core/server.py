@@ -67,6 +67,15 @@ from repro.core.recovery import (
     SchemaMsg,
     partition_recovery,
 )
+from repro.core.scheduler import (
+    AdmissionQueue,
+    OpProgress,
+    OpSchedRecord,
+    SchedOp,
+    SchedStats,
+    ServerScheduler,
+    estimate_op,
+)
 from repro.faults import FaultRecoveryError
 from repro.fs.filesystem import FileSystem
 from repro.mpi.comm import Communicator
@@ -113,7 +122,15 @@ class PandaServer:
 
     # -- main loop ----------------------------------------------------------
     def run(self):
-        """The server process: handle collective ops until shutdown."""
+        """The server process: handle collective ops until shutdown.
+
+        With an inter-op scheduler configured, dispatches to
+        :meth:`_run_scheduled` instead; the one-op-at-a-time loop below
+        is otherwise untouched (the golden determinism test pins its
+        timings bit-for-bit)."""
+        if self.runtime.config.scheduler is not None:
+            yield from self._run_scheduled()
+            return
         listen = {Tags.REQUEST, Tags.SHUTDOWN} if self.is_master else \
                  {Tags.SCHEMA, Tags.SHUTDOWN}
         if self._reliable and not self.is_master:
@@ -223,62 +240,70 @@ class PandaServer:
         file offsets are contiguous from wherever ``fh`` points, both
         for a normal plan and for a recovery assignment)."""
         moved = 0
+        for item in items:
+            moved += yield from self._write_one(op, fh, item)
+        return moved
+
+    def _write_one(self, op: CollectiveOp, fh, item: SubchunkPlan):
+        """Gather and write one sub-chunk -- the unit the inter-op
+        scheduler interleaves at."""
         real = self.runtime.real_payloads
         trace = self.runtime.trace
-        t0 = 0.0
-        for item in items:
-            if trace is not None:
-                t0 = self.comm.sim.now
-            spec = op.arrays[item.array_index]
-            pieces = self._pieces_of(op, spec, item)
-            buf = np.zeros(item.region.shape, dtype=spec.np_dtype) if real else None
-            total_runs = 0
-            if self._reliable:
-                replies = yield from self._fetch_reliable(op, item, pieces)
-            elif self.runtime.config.nonblocking:
-                # post every request, then take replies in arrival order
-                for client_rank, region in pieces:
-                    req = FetchRequest(op.op_id, item.array_index, region, item.seq)
-                    yield from self.comm.send(client_rank, Tags.FETCH, req)
-                replies = []
-                for _ in pieces:
-                    msg = yield from self.comm.recv(tag=Tags.DATA)
-                    replies.append(msg)
-            else:
-                # the paper's blocking request/reply pairs, client order
-                replies = []
-                for client_rank, region in pieces:
-                    req = FetchRequest(op.op_id, item.array_index, region, item.seq)
-                    yield from self.comm.send(client_rank, Tags.FETCH, req)
-                    msg = yield from self.comm.recv(src=client_rank, tag=Tags.DATA)
-                    replies.append(msg)
-            for msg in replies:
-                piece: PieceData = msg.payload
-                if piece.subchunk_seq != item.seq or piece.op_id != op.op_id:
-                    raise RuntimeError(
-                        f"server {self.server_index}: stray piece "
-                        f"{piece.subchunk_seq} during sub-chunk {item.seq}"
-                    )
-                yield from self.comm.handle()
-                runs, _ = runs_within(piece.region, item.region)
-                total_runs += runs
-                if real:
-                    data = piece.block.array.view(spec.np_dtype).reshape(
-                        piece.region.shape
-                    )
-                    inject_region(buf, item.region.lo, piece.region, data)
-            # staging pass: assemble the sub-chunk in traditional order
-            yield from self.comm.copy(item.nbytes, max(total_runs, 1))
-            if trace is not None:
-                now = self.comm.sim.now
-                trace.emit(now, self._src, "srv_gather", op_id=op.op_id,
-                           seq=item.seq, nbytes=item.nbytes,
-                           pieces=len(pieces), service=now - t0)
-            block = DataBlock.real(buf) if real else DataBlock.virtual(item.nbytes)
-            yield from fh.write(block)
-            moved += item.nbytes
-            self.subchunks_processed += 1
-        return moved
+        t0 = self.comm.sim.now if trace is not None else 0.0
+        spec = op.arrays[item.array_index]
+        pieces = self._pieces_of(op, spec, item)
+        buf = np.zeros(item.region.shape, dtype=spec.np_dtype) if real else None
+        total_runs = 0
+        # data-plane replies are matched on (op_id, subchunk_seq) so a
+        # piece of a concurrently scheduled op can never be absorbed here
+        is_mine = (lambda m: m.payload.op_id == op.op_id
+                   and m.payload.subchunk_seq == item.seq)
+        if self._reliable:
+            replies = yield from self._fetch_reliable(op, item, pieces)
+        elif self.runtime.config.nonblocking:
+            # post every request, then take replies in arrival order
+            for client_rank, region in pieces:
+                req = FetchRequest(op.op_id, item.array_index, region, item.seq)
+                yield from self.comm.send(client_rank, Tags.FETCH, req)
+            replies = []
+            for _ in pieces:
+                msg = yield from self.comm.recv(tag=Tags.DATA, match=is_mine)
+                replies.append(msg)
+        else:
+            # the paper's blocking request/reply pairs, client order
+            replies = []
+            for client_rank, region in pieces:
+                req = FetchRequest(op.op_id, item.array_index, region, item.seq)
+                yield from self.comm.send(client_rank, Tags.FETCH, req)
+                msg = yield from self.comm.recv(src=client_rank, tag=Tags.DATA,
+                                                match=is_mine)
+                replies.append(msg)
+        for msg in replies:
+            piece: PieceData = msg.payload
+            if piece.subchunk_seq != item.seq or piece.op_id != op.op_id:
+                raise RuntimeError(
+                    f"server {self.server_index}: stray piece "
+                    f"{piece.subchunk_seq} during sub-chunk {item.seq}"
+                )
+            yield from self.comm.handle()
+            runs, _ = runs_within(piece.region, item.region)
+            total_runs += runs
+            if real:
+                data = piece.block.array.view(spec.np_dtype).reshape(
+                    piece.region.shape
+                )
+                inject_region(buf, item.region.lo, piece.region, data)
+        # staging pass: assemble the sub-chunk in traditional order
+        yield from self.comm.copy(item.nbytes, max(total_runs, 1))
+        if trace is not None:
+            now = self.comm.sim.now
+            trace.emit(now, self._src, "srv_gather", op_id=op.op_id,
+                       seq=item.seq, nbytes=item.nbytes,
+                       pieces=len(pieces), service=now - t0)
+        block = DataBlock.real(buf) if real else DataBlock.virtual(item.nbytes)
+        yield from fh.write(block)
+        self.subchunks_processed += 1
+        return item.nbytes
 
     def _fetch_reliable(self, op: CollectiveOp, item: SubchunkPlan,
                         pieces: List[Tuple[int, Region]]):
@@ -338,46 +363,51 @@ class PandaServer:
     def _read_items(self, op: CollectiveOp, fh, items: Tuple[SubchunkPlan, ...]):
         """Read-and-scatter the given sub-chunks out of ``fh``."""
         moved = 0
+        for item in items:
+            moved += yield from self._read_one(op, fh, item)
+        return moved
+
+    def _read_one(self, op: CollectiveOp, fh, item: SubchunkPlan):
+        """Read and scatter one sub-chunk -- the unit the inter-op
+        scheduler interleaves at."""
         real = self.runtime.real_payloads
         trace = self.runtime.trace
-        for item in items:
-            spec = op.arrays[item.array_index]
-            if fh.offset != item.file_offset:
-                fh.seek(item.file_offset)
-            block = yield from fh.read(item.nbytes)
-            t0 = self.comm.sim.now if trace is not None else 0.0
+        spec = op.arrays[item.array_index]
+        if fh.offset != item.file_offset:
+            fh.seek(item.file_offset)
+        block = yield from fh.read(item.nbytes)
+        t0 = self.comm.sim.now if trace is not None else 0.0
+        if real:
+            buf = block.array.view(spec.np_dtype).reshape(item.region.shape)
+        pieces = self._pieces_of(op, spec, item)
+        total_runs = 0
+        for _, region in pieces:
+            runs, _ = runs_within(region, item.region)
+            total_runs += runs
+        # staging pass: carve the sub-chunk into pieces
+        yield from self.comm.copy(item.nbytes, max(total_runs, 1))
+        for client_rank, region in pieces:
+            nbytes = region.size * spec.itemsize
             if real:
-                buf = block.array.view(spec.np_dtype).reshape(item.region.shape)
-            pieces = self._pieces_of(op, spec, item)
-            total_runs = 0
-            for _, region in pieces:
-                runs, _ = runs_within(region, item.region)
-                total_runs += runs
-            # staging pass: carve the sub-chunk into pieces
-            yield from self.comm.copy(item.nbytes, max(total_runs, 1))
-            for client_rank, region in pieces:
-                nbytes = region.size * spec.itemsize
-                if real:
-                    data = extract_region(buf, item.region.lo, region)
-                    pblock = DataBlock.real(data)
-                else:
-                    pblock = DataBlock.virtual(nbytes)
-                piece = PieceData(op.op_id, item.array_index, region, pblock,
-                                  item.seq)
-                if self._reliable:
-                    yield from self._scatter_reliable(op, item, client_rank,
-                                                      region, piece, nbytes)
-                else:
-                    yield from self.comm.send(client_rank, Tags.PIECE, piece,
-                                              nbytes=nbytes)
-            if trace is not None:
-                now = self.comm.sim.now
-                trace.emit(now, self._src, "srv_scatter", op_id=op.op_id,
-                           seq=item.seq, nbytes=item.nbytes,
-                           pieces=len(pieces), service=now - t0)
-            moved += item.nbytes
-            self.subchunks_processed += 1
-        return moved
+                data = extract_region(buf, item.region.lo, region)
+                pblock = DataBlock.real(data)
+            else:
+                pblock = DataBlock.virtual(nbytes)
+            piece = PieceData(op.op_id, item.array_index, region, pblock,
+                              item.seq)
+            if self._reliable:
+                yield from self._scatter_reliable(op, item, client_rank,
+                                                  region, piece, nbytes)
+            else:
+                yield from self.comm.send(client_rank, Tags.PIECE, piece,
+                                          nbytes=nbytes)
+        if trace is not None:
+            now = self.comm.sim.now
+            trace.emit(now, self._src, "srv_scatter", op_id=op.op_id,
+                       seq=item.seq, nbytes=item.nbytes,
+                       pieces=len(pieces), service=now - t0)
+        self.subchunks_processed += 1
+        return item.nbytes
 
     def _scatter_reliable(self, op: CollectiveOp, item: SubchunkPlan,
                           client_rank: int, region: Region,
@@ -585,3 +615,334 @@ class PandaServer:
                 )
             # crashes elsewhere are left for the outer gather to handle
         return assignments
+
+    # -- scheduled mode (config.scheduler set) -------------------------------
+    #
+    # Several admitted ops interleave on every server at sub-chunk
+    # granularity under the configured policy; see
+    # :mod:`repro.core.scheduler` for the architecture.  Phase marks in
+    # this mode use the globally unique ``admit_seq`` as their op_id
+    # detail, because per-group op_id counters all start at 0 and the
+    # observability layer pairs phase marks per (source, op_id).
+
+    def _run_scheduled(self):
+        """Multi-tenant server loop: admission control at the master,
+        policy-driven sub-chunk interleaving everywhere.
+
+        The loop alternates three activities, never blocking while any
+        admitted op has work: (1) drain control messages (REQUEST /
+        SCHED / SERVER_DONE / RECOVER / SHUTDOWN) without consuming
+        simulated time; (2) master only: admit eligible queued ops into
+        free in-flight slots; (3) execute exactly one sub-chunk of the
+        op the policy picks.  Only when none of these make progress does
+        it block on the next control message (with the failure-detector
+        timeout in fault mode)."""
+        rt = self.runtime
+        cfg = rt.config.scheduler
+        sched = ServerScheduler(cfg, self.server_index)
+        listen = {Tags.REQUEST, Tags.SERVER_DONE, Tags.SHUTDOWN} \
+            if self.is_master else {Tags.SCHED, Tags.SHUTDOWN}
+        if self._reliable and not self.is_master:
+            listen.add(Tags.RECOVER)
+        queue = None
+        gate = None
+        if self.is_master:
+            queue = AdmissionQueue(cfg.queue_limit, sched.policy)
+            self._sched_stats = SchedStats(policy=cfg.policy)
+            rt.sched_stats = self._sched_stats
+
+            def gate(m, _queue=queue):
+                # backpressure: while the admission queue is full,
+                # REQUESTs stay in the mailbox unread, so the queue
+                # (and the memory it pins) never exceeds its bound
+                return m.tag != Tags.REQUEST or not _queue.full
+
+        #: master only: admit_seq -> _OpCompletion for in-flight ops
+        self._completions: Dict[int, _OpCompletion] = {}
+        shutdown = False
+        while True:
+            progressed = False
+            while True:
+                msg = self.comm.try_recv(tags=listen, match=gate)
+                if msg is None:
+                    break
+                progressed = True
+                shutdown |= yield from self._sched_control(msg, sched, queue)
+            if self.is_master:
+                progressed |= yield from self._sched_admit(sched, queue)
+            p = sched.pick()
+            if p is not None:
+                yield from self._sched_step(p, sched)
+                continue
+            if progressed:
+                continue
+            if shutdown and sched.idle and not self._completions \
+                    and (queue is None or not len(queue)):
+                return
+            if self._reliable and self.is_master and self._completions:
+                msg = yield from self.comm.recv(
+                    tags=listen, match=gate,
+                    timeout=rt.injector.spec.detect_timeout,
+                )
+                if msg is None:
+                    yield from self._sched_detect(sched)
+                    continue
+            else:
+                msg = yield from self.comm.recv(tags=listen, match=gate)
+            shutdown |= yield from self._sched_control(msg, sched, queue)
+
+    def _sched_control(self, msg, sched: ServerScheduler, queue):
+        """Handle one control-plane message; returns True on SHUTDOWN."""
+        if msg.tag == Tags.SHUTDOWN:
+            return True
+        yield from self.comm.handle()
+        if msg.tag == Tags.REQUEST:
+            self._sched_enqueue(msg.payload, queue)
+        elif msg.tag == Tags.SCHED:
+            yield from self._sched_start(msg.payload, sched)
+        elif msg.tag == Tags.SERVER_DONE:
+            done: ServerDone = msg.payload
+            if done.recovery:
+                # recovery completions are consumed inside
+                # _recover_midop's own matched gather; one here is a bug
+                raise RuntimeError(
+                    f"master: stray recovery completion from server "
+                    f"{done.server_index}"
+                )
+            yield from self._sched_credit(done.admit_seq, done.server_index,
+                                          done.bytes_moved)
+        else:  # RECOVER (non-master, fault mode)
+            yield from self._serve_recover(msg.payload)
+        return False
+
+    def _sched_enqueue(self, op: CollectiveOp, queue: AdmissionQueue) -> None:
+        """Master: one REQUEST enters the bounded admission queue."""
+        rt = self.runtime
+        est = estimate_op(op, rt.n_io, self.comm.spec, rt.config)
+        now = self.comm.sim.now
+        entry = queue.push(op, est, now)
+        stats = self._sched_stats
+        stats.records[entry.seq] = OpSchedRecord(
+            admit_seq=entry.seq, op_id=op.op_id, group=op.client_ranks,
+            dataset=op.dataset, kind=op.kind, priority=op.priority,
+            estimate=est, arrived=now,
+        )
+        stats.queue_peak = max(stats.queue_peak, queue.peak)
+        if rt.trace is not None:
+            rt.trace.emit(now, "sched", "sched_enqueue", admit_seq=entry.seq,
+                          op_id=op.op_id, dataset=op.dataset, kind=op.kind,
+                          qlen=len(queue))
+
+    def _sched_admit(self, sched: ServerScheduler, queue: AdmissionQueue):
+        """Master: admit eligible queued ops while in-flight slots are
+        free.  Returns True when anything was admitted."""
+        rt = self.runtime
+        cfg = rt.config.scheduler
+        admitted = False
+        while len(self._completions) < cfg.max_in_flight:
+            in_flight = [c.sched.op for c in self._completions.values()]
+            entry = queue.admissible(in_flight)
+            if entry is None:
+                break
+            queue.remove(entry)
+            op = entry.op
+            rt.catalog_check(op)
+            skip: Tuple[int, ...] = ()
+            recoveries: Tuple[RecoveryAssignment, ...] = ()
+            pending_reloc: Dict[int, Tuple[RecoveryAssignment, ...]] = {}
+            if self._reliable:
+                skip, recoveries, pending_reloc, _crashed = \
+                    self._fault_directives(op)
+            sop = SchedOp(op=op, admit_seq=entry.seq, priority=op.priority,
+                          estimate=entry.estimate, skip=skip,
+                          recoveries=recoveries)
+            # a live server participates unless it is skip-listed with
+            # no recovery assignment routed to it: a fully skipped
+            # server has nothing to execute and must not be contacted
+            # (it may be a repaired node about to be re-crashed by the
+            # injector, and its stale on-disk portion is superseded by
+            # the survivors' recovery files).  The master always
+            # participates: it runs the completion bookkeeping.
+            assigned = {a.survivor_index for a in recoveries}
+            participants = [i for i in rt.live_servers()
+                            if i == self.server_index or i not in skip
+                            or i in assigned]
+            comp = _OpCompletion(sop, participants, pending_reloc)
+            self._completions[entry.seq] = comp
+            stats = self._sched_stats
+            rec = stats.records[entry.seq]
+            rec.admitted = self.comm.sim.now
+            stats.in_flight_peak = max(stats.in_flight_peak,
+                                       len(self._completions))
+            if rt.trace is not None:
+                rt.trace.emit(rec.admitted, "sched", "sched_admit",
+                              admit_seq=entry.seq, op_id=op.op_id,
+                              dataset=op.dataset, wait=rec.queue_wait,
+                              in_flight=len(self._completions))
+            if self._reliable:
+                targets = [rt.server_rank(i) for i in participants
+                           if i != self.server_index]
+                yield from self.comm.bcast_send(targets, Tags.SCHED, sop)
+            else:
+                yield from self.comm.bcast_send(rt.server_ranks, Tags.SCHED,
+                                                sop)
+            yield from self._sched_start(sop, sched)
+            admitted = True
+        return admitted
+
+    def _sched_start(self, sop: SchedOp, sched: ServerScheduler):
+        """Form this server's plan for a newly admitted op and hand it
+        to the service policy."""
+        op = sop.op
+        self._mark("srv_op_start", op_id=sop.admit_seq, kind=op.kind)
+        yield from self.comm.compute(self.comm.spec.plan_formation_overhead)
+        plan = build_server_plan(op, self.server_index, self.runtime.n_io,
+                                 self.runtime.config)
+        assignments = tuple(a for a in sop.recoveries
+                            if a.survivor_index == self.server_index)
+        p = sched.start(sop, plan, assignments)
+        self._mark("srv_plan_ready", op_id=sop.admit_seq)
+        if p.done:
+            # nothing to execute here (directed to skip, no recovery
+            # assignments): report completion immediately
+            yield from self._sched_finish(p, sched)
+
+    def _sched_step(self, p: OpProgress, sched: ServerScheduler):
+        """Execute one sub-chunk of the picked op; segment open /
+        fsync / close edges ride the boundary steps."""
+        op = p.op
+        seg = p.segments[p.seg_index]
+        if p.fh is None:
+            if op.kind == "write":
+                p.fh = self.fs.open(seg.file_name, "w")
+            else:
+                if not self.fs.exists(seg.file_name):
+                    raise FileNotFoundError(
+                        f"server {self.server_index}: dataset file "
+                        f"{seg.file_name!r} does not exist (dataset "
+                        f"{op.dataset!r} was never written?)"
+                    )
+                p.fh = self.fs.open(seg.file_name, "r")
+        if p.item_index < len(seg.items):
+            item = seg.items[p.item_index]
+            if op.kind == "write":
+                moved = yield from self._write_one(op, p.fh, item)
+                self.bytes_written += moved
+            else:
+                moved = yield from self._read_one(op, p.fh, item)
+                self.bytes_read += moved
+            p.item_index += 1
+            p.moved += moved
+            sched.policy.charged(p, item.nbytes)
+        if p.item_index >= len(seg.items):
+            if op.kind == "write":
+                yield from p.fh.fsync()
+            p.fh.close()
+            p.fh = None
+            p.seg_index += 1
+            p.item_index = 0
+            if p.done:
+                yield from self._sched_finish(p, sched)
+
+    def _sched_finish(self, p: OpProgress, sched: ServerScheduler):
+        """This server's share of one op is complete: report it."""
+        sched.finish(p)
+        self._mark("srv_io_done", op_id=p.sched.admit_seq, moved=p.moved)
+        if self.is_master:
+            yield from self._sched_credit(p.sched.admit_seq,
+                                          self.server_index, p.moved)
+        else:
+            done = ServerDone(p.op.op_id, self.server_index, p.moved,
+                              admit_seq=p.sched.admit_seq)
+            yield from self.comm.send(self.runtime.master_server_rank,
+                                      Tags.SERVER_DONE, done)
+            self._mark("srv_op_done", op_id=p.sched.admit_seq)
+
+    def _sched_credit(self, admit_seq: int, server_index: int, moved: int):
+        """Master: record one server's completion of an admitted op."""
+        comp = self._completions.get(admit_seq)
+        if comp is None:
+            raise RuntimeError(
+                f"master: completion for unknown scheduled op {admit_seq} "
+                f"from server {server_index}"
+            )
+        comp.done.add(server_index)
+        comp.moved += moved
+        yield from self._sched_maybe_complete(admit_seq, comp)
+
+    def _sched_maybe_complete(self, admit_seq: int, comp: "_OpCompletion"):
+        """Master: when the last expected server has reported, commit
+        the op and notify its master client."""
+        if comp.expected - comp.done:
+            return
+        rt = self.runtime
+        op = comp.sched.op
+        del self._completions[admit_seq]
+        if op.kind == "write":
+            if self._reliable:
+                rt.record_relocations(op.dataset, comp.pending_reloc)
+            rt.catalog_commit(op)
+        done = ServerDone(op.op_id, self.server_index, comp.moved,
+                          admit_seq=admit_seq)
+        yield from self.comm.send(op.master_client, Tags.OP_DONE, done)
+        now = self.comm.sim.now
+        rec = self._sched_stats.records[admit_seq]
+        rec.completed = now
+        rec.moved = comp.moved
+        if rt.trace is not None:
+            rt.trace.emit(now, "sched", "sched_done", admit_seq=admit_seq,
+                          op_id=op.op_id, dataset=op.dataset, moved=comp.moved,
+                          service=now - rec.admitted,
+                          turnaround=rec.turnaround)
+        self._mark("srv_op_done", op_id=admit_seq)
+
+    def _sched_detect(self, sched: ServerScheduler):
+        """Master, fault mode: the blocking receive timed out.  Scan the
+        (perfect) failure detector for crashes affecting any in-flight
+        op and run the same mid-op write recovery the unscheduled
+        gather performs."""
+        rt = self.runtime
+        for admit_seq in sorted(self._completions):
+            comp = self._completions.get(admit_seq)
+            if comp is None:
+                continue
+            op = comp.sched.op
+            for k in sorted(rt.crashed_servers & comp.expected):
+                comp.expected.discard(k)
+                if k in comp.done:
+                    # finished before dying: its file is complete but
+                    # unreachable until the node is repaired (next run)
+                    continue
+                if op.kind == "read":
+                    plan = build_server_plan(op, k, rt.n_io, rt.config)
+                    had_work = (plan.items and k not in comp.sched.skip) or \
+                        any(a.survivor_index == k
+                            for a in comp.sched.recoveries)
+                    if had_work:
+                        raise FaultRecoveryError(
+                            f"server {k} crashed while scattering dataset "
+                            f"{op.dataset!r}; its unsent pieces are "
+                            "unreachable"
+                        )
+                    continue  # trivially empty share: nothing was lost
+                assignments = yield from self._recover_midop(op, k)
+                if assignments:
+                    comp.pending_reloc[k] = assignments
+            yield from self._sched_maybe_complete(admit_seq, comp)
+
+
+class _OpCompletion:
+    """Master-side completion bookkeeping for one in-flight scheduled
+    op: which servers still owe a SERVER_DONE, bytes credited so far,
+    and relocations to persist at commit."""
+
+    __slots__ = ("sched", "expected", "done", "moved", "pending_reloc")
+
+    def __init__(self, sched: SchedOp, expected,
+                 pending_reloc: Dict[int, Tuple[RecoveryAssignment, ...]],
+                 ) -> None:
+        self.sched = sched
+        self.expected: Set[int] = set(expected)
+        self.done: Set[int] = set()
+        self.moved = 0
+        self.pending_reloc = dict(pending_reloc)

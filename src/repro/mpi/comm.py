@@ -83,6 +83,28 @@ class Communicator:
         matching message arrives within ``timeout`` seconds; the
         pending receive is withdrawn so a late message stays in the
         mailbox for a future receive instead of vanishing."""
+        pred = self._match_pred(src, tag, tags, match)
+        mailbox = self.network.mailboxes[self.rank]
+        if timeout is None:
+            msg = yield mailbox.get(pred)
+            return msg
+        get_ev = mailbox.get(pred)
+        idx, value = yield self.sim.any_of([get_ev, self.sim.timeout(timeout)])
+        if idx == 0:
+            return value
+        if get_ev.triggered:
+            # the message raced the timeout within the same instant and
+            # was already consumed from the mailbox: deliver it
+            return get_ev.value
+        mailbox.cancel(get_ev)
+        return None
+
+    def _match_pred(self, src: Optional[int], tag: Optional[int],
+                    tags: Optional[Iterable[int]],
+                    match: Optional[Callable[[Message], bool]],
+                    ) -> Callable[[Message], bool]:
+        """Build the message-matching predicate shared by ``recv`` and
+        ``try_recv``."""
         if tag is not None and tags is not None:
             raise ValueError("pass either tag or tags, not both")
         tagset = frozenset(tags) if tags is not None else None
@@ -98,20 +120,19 @@ class Communicator:
                 return False
             return True
 
-        mailbox = self.network.mailboxes[self.rank]
-        if timeout is None:
-            msg = yield mailbox.get(pred)
-            return msg
-        get_ev = mailbox.get(pred)
-        idx, value = yield self.sim.any_of([get_ev, self.sim.timeout(timeout)])
-        if idx == 0:
-            return value
-        if get_ev.triggered:
-            # the message raced the timeout within the same instant and
-            # was already consumed from the mailbox: deliver it
-            return get_ev.value
-        mailbox.cancel(get_ev)
-        return None
+        return pred
+
+    def try_recv(self, src: Optional[int] = None, tag: Optional[int] = None,
+                 tags: Optional[Iterable[int]] = None,
+                 match: Optional[Callable[[Message], bool]] = None,
+                 ) -> Optional[Message]:
+        """Non-blocking receive: the oldest matching message already in
+        the mailbox, or ``None``.  Plain call (not ``yield from``) --
+        it consumes no simulated time.  Non-matching messages are left
+        queued (the inter-op scheduler uses this to exert backpressure
+        by refusing REQUESTs while its admission queue is full)."""
+        pred = self._match_pred(src, tag, tags, match)
+        return self.network.mailboxes[self.rank].try_get(pred)
 
     def probe_pending(self) -> int:
         """Number of undelivered messages in this rank's mailbox."""

@@ -16,6 +16,7 @@ pid       process                      threads (tid)
 3         disks                        one per disk arm
 4         links                        out[r] and in[r] per rank
 5         runtime                      run markers, fsyncs, flushes
+6         scheduler                    one per admitted op (admit_seq)
 ========  ===========================  =============================
 
 Span reconstruction: trace records carry their *completion* time plus
@@ -41,6 +42,7 @@ PID_SERVERS = 2
 PID_DISKS = 3
 PID_LINKS = 4
 PID_RUNTIME = 5
+PID_SCHED = 6
 
 _PROCESS_NAMES = {
     PID_CLIENTS: "clients",
@@ -48,6 +50,7 @@ _PROCESS_NAMES = {
     PID_DISKS: "disks",
     PID_LINKS: "links",
     PID_RUNTIME: "runtime",
+    PID_SCHED: "scheduler",
 }
 
 _NUM = re.compile(r"(\d+)")
@@ -187,6 +190,25 @@ def to_chrome_trace(trace: Trace, t0: float = 0.0,
         elif rec.kind in ("run_start", "run_end"):
             b.thread(PID_RUNTIME, 0, "run")
             b.instant(rec.kind, "run", rec.time, PID_RUNTIME, 0, **d)
+        elif rec.kind == "sched_enqueue":
+            tid = d["admit_seq"]
+            b.thread(PID_SCHED, tid, f"op{tid} {d.get('dataset')}")
+            b.instant("enqueue", "sched", rec.time, PID_SCHED, tid,
+                      op_id=d.get("op_id"), dataset=d.get("dataset"),
+                      kind=d.get("kind"), qlen=d.get("qlen"))
+        elif rec.kind == "sched_admit":
+            tid = d["admit_seq"]
+            b.thread(PID_SCHED, tid, f"op{tid} {d.get('dataset')}")
+            b.span("queued", "sched", rec.time - d.get("wait", 0.0),
+                   rec.time, PID_SCHED, tid, op_id=d.get("op_id"),
+                   dataset=d.get("dataset"), in_flight=d.get("in_flight"))
+        elif rec.kind == "sched_done":
+            tid = d["admit_seq"]
+            b.thread(PID_SCHED, tid, f"op{tid} {d.get('dataset')}")
+            b.span("in-flight", "sched", rec.time - d.get("service", 0.0),
+                   rec.time, PID_SCHED, tid, op_id=d.get("op_id"),
+                   dataset=d.get("dataset"), moved=d.get("moved"),
+                   turnaround=d.get("turnaround"))
 
     # server op phases: request->plan = "plan", plan->io = "io",
     # io->done = "sync"

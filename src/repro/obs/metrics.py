@@ -341,6 +341,12 @@ _TRACE_HISTOGRAMS = (
     ("net_xfer", "panda_net_xfer_seconds", "service", DURATION_BUCKETS),
     ("srv_gather", "panda_gather_seconds", "service", DURATION_BUCKETS),
     ("srv_scatter", "panda_scatter_seconds", "service", DURATION_BUCKETS),
+    ("sched_admit", "panda_sched_queue_wait_seconds", "wait",
+     DURATION_BUCKETS),
+    ("sched_done", "panda_sched_service_seconds", "service",
+     DURATION_BUCKETS),
+    ("sched_done", "panda_sched_turnaround_seconds", "turnaround",
+     DURATION_BUCKETS),
 )
 
 

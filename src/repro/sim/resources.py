@@ -159,6 +159,38 @@ class Store:
         """Snapshot of queued items (for diagnostics)."""
         return list(self._items)
 
+    def try_get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Any:
+        """Synchronously pop and return the oldest matching item, or
+        ``None`` when nothing matches.  Never blocks and never touches
+        the simulation clock.
+
+        Callers must not race this against their own pending blocking
+        ``get`` on the same store: popping around a registered getter
+        would reorder FIFO service.  (The mailbox discipline in
+        :mod:`repro.mpi` guarantees this -- a rank is a single process,
+        so it is either blocked in ``recv`` or polling, never both.)
+        """
+        for idx, item in enumerate(self._items):
+            if predicate is None or predicate(item):
+                del self._items[idx]
+                if self.obs is not None:
+                    self.obs.sample(self.sim._now, len(self._items))
+                return item
+        return None
+
+    def clear(self) -> int:
+        """Drop every queued item *and* every pending getter; returns
+        the number of items discarded.  Models a node reboot: messages
+        queued for a dead process are lost with it, and its registered
+        getters must not steal deliveries meant for the reborn process.
+        Only call this when no live process is blocked on the store."""
+        dropped = len(self._items)
+        self._items.clear()
+        self._getters.clear()
+        if self.obs is not None:
+            self.obs.sample(self.sim._now, 0)
+        return dropped
+
     def cancel(self, ev: Event) -> None:
         """Withdraw a pending getter (e.g. a receive that timed out).
         Without this, a later matching item would be consumed by -- and

@@ -1,0 +1,141 @@
+"""Property-based inter-op scheduler tests: any random mix of
+concurrent collective ops (reads and writes, natural and reorganizing
+schemas, overlapping hot datasets), under any policy, priority vector
+and admission bound must
+
+- finish (the simulator's deadlock detector would raise otherwise),
+- complete *every* issued op (no starvation under preemptive SJF or
+  weighted fair-share),
+- respect the admission bounds: queue length never exceeds
+  ``queue_limit`` (backpressure is physical, so this is structural,
+  but the peak counter proves it held) and concurrency never exceeds
+  ``max_in_flight``,
+- keep every op's turnaround within a generous multiple of the summed
+  cost-model estimates (the serial lower bound's scale) -- a runaway
+  postponement blows well past it,
+
+and the whole thing must be a pure function of the drawn case.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import (
+    Array,
+    ArrayGroup,
+    ArrayLayout,
+    PandaConfig,
+    PandaRuntime,
+)
+from repro.core.scheduler import POLICIES, SchedulerConfig
+from repro.schema import BLOCK, NONE
+
+N_COMPUTE = 8
+N_IO = 2
+SHAPE = (32, 32)
+SUB_CHUNK = 1024
+
+MENU = ("write_own", "read_own", "write_hot", "write_reorg")
+
+
+def _virtual_app(g: int, group_size: int, ops, priority: int):
+    """Virtual-payload variant of the equivalence harness's group app:
+    opening write of the group's own dataset, then the drawn ops."""
+    mem = ArrayLayout(f"mem{g}", (group_size,))
+    dist = [BLOCK, NONE]
+    own = Array(f"g{g}", SHAPE, np.float64, mem, dist,
+                sub_chunk_bytes=SUB_CHUNK)
+    hot = Array("hot", SHAPE, np.float64, mem, dist,
+                sub_chunk_bytes=SUB_CHUNK)
+    disk = ArrayLayout(f"disk{g}", (N_IO,))
+    reorg = Array(f"r{g}", SHAPE, np.float64, mem, dist,
+                  disk, [BLOCK, NONE], sub_chunk_bytes=SUB_CHUNK)
+    own_g, hot_g, reorg_g = (ArrayGroup(f"{n}{g}") for n in
+                             ("own", "hot", "reorg"))
+    own_g.include(own)
+    hot_g.include(hot)
+    reorg_g.include(reorg)
+
+    def app(ctx):
+        for arr in (own, hot, reorg):
+            ctx.bind(arr)
+        yield from own_g.write(ctx, f"g{g}", priority=priority)
+        for op in ops:
+            if op == "write_own":
+                yield from own_g.write(ctx, f"g{g}", priority=priority)
+            elif op == "read_own":
+                yield from own_g.read(ctx, f"g{g}", priority=priority)
+            elif op == "write_hot":
+                yield from hot_g.write(ctx, "hot", priority=priority)
+            else:
+                yield from reorg_g.write(ctx, f"r{g}", priority=priority)
+
+    return app
+
+
+@st.composite
+def sched_cases(draw):
+    policy = draw(st.sampled_from(POLICIES))
+    n_groups = draw(st.sampled_from((1, 2, 4)))
+    per_group = [
+        draw(st.lists(st.sampled_from(MENU), min_size=0, max_size=3))
+        for _ in range(n_groups)
+    ]
+    priorities = [draw(st.integers(1, 3)) for _ in range(n_groups)]
+    max_in_flight = draw(st.integers(1, 4))
+    queue_limit = draw(st.integers(1, 4))
+    return policy, per_group, priorities, max_in_flight, queue_limit
+
+
+def run_case(case):
+    policy, per_group, priorities, max_in_flight, queue_limit = case
+    sched = SchedulerConfig(policy=policy, max_in_flight=max_in_flight,
+                            queue_limit=queue_limit)
+    rt = PandaRuntime(n_compute=N_COMPUTE, n_io=N_IO,
+                      config=PandaConfig(scheduler=sched),
+                      real_payloads=False)
+    group_size = N_COMPUTE // len(per_group)
+    assignments = []
+    for g, (ops, prio) in enumerate(zip(per_group, priorities)):
+        ranks = tuple(range(g * group_size, (g + 1) * group_size))
+        assignments.append((_virtual_app(g, group_size, ops, prio), ranks))
+    rt.run_partitioned(assignments)
+    return rt
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(sched_cases())
+def test_no_deadlock_no_starvation_bounded_queues(case):
+    policy, per_group, _prios, max_in_flight, queue_limit = case
+    rt = run_case(case)  # completing at all rules out deadlock
+    stats = rt.sched_stats
+    assert stats is not None and stats.policy == policy
+    n_ops = sum(1 + len(ops) for ops in per_group)
+    assert len(stats.ops) == n_ops
+    # no starvation: every issued op was admitted and completed
+    assert all(r.completed is not None for r in stats.ops)
+    # admission bounds held
+    assert stats.queue_peak <= queue_limit
+    assert stats.in_flight_peak <= max_in_flight
+    # bounded turnaround: nothing waits beyond the scale of serially
+    # draining everything ahead of it (generous 3x + slack covers
+    # overheads the cost model does not price)
+    serial_scale = sum(r.estimate for r in stats.ops)
+    for r in stats.ops:
+        assert r.turnaround <= 3.0 * serial_scale + 1.0, (
+            f"op {r.admit_seq} ({r.kind} {r.dataset}) turnaround "
+            f"{r.turnaround:.3f} s vs serial scale {serial_scale:.3f} s"
+        )
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(sched_cases())
+def test_scheduled_runs_are_deterministic(case):
+    first = run_case(case).sched_stats
+    second = run_case(case).sched_stats
+    assert [(r.admit_seq, r.dataset, r.arrived, r.admitted, r.completed)
+            for r in first.ops] == \
+           [(r.admit_seq, r.dataset, r.arrived, r.admitted, r.completed)
+            for r in second.ops]

@@ -1,0 +1,204 @@
+"""Inter-op scheduler under fail-stop I/O-node crashes.
+
+The crash lands at t=0.004 s, while the admission queue still holds a
+mix of writes and reads (``max_in_flight=2, queue_limit=2`` keeps most
+of the 12 ops queued): the in-flight op's lost portion is re-gathered
+mid-op onto the survivors, every op admitted afterwards is routed
+around the dead node up front, and reads -- both later in the same run
+and in a later run, where the injector re-crashes the repaired node --
+return every byte that was written.
+
+The later-run scenario is also the regression test for two rebirth
+bugs: a reborn server must not consume the previous run's SHUTDOWN
+still sitting in the dead node's mailbox (it would exit at spawn and
+hang the master's failure detector forever), and an op whose directives
+fully skip a server must not contact it at all.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Array,
+    ArrayGroup,
+    ArrayLayout,
+    BLOCK,
+    NONE,
+    PandaConfig,
+    PandaRuntime,
+    SchedulerConfig,
+)
+from repro.core.scheduler import POLICIES
+from repro.faults import FaultSpec
+from repro.workloads import distribute, make_global_array
+
+N_COMPUTE = 8
+N_IO = 3
+SHAPE = (32, 32)
+SUB_CHUNK = 1024      # 8 sub-chunks per op: real mid-op interleaving
+N_GROUPS = 4
+GROUP = N_COMPUTE // N_GROUPS
+CRASHED = 2
+CRASH_T = 0.004
+
+
+def make_arrays(g: int, striped: bool = True):
+    """``striped`` lays the dataset over all three I/O nodes, so the
+    crashed server holds a third of every array and recovery has real
+    work; ``striped=False`` (natural chunking of a 2-chunk mesh) leaves
+    the crashed server's plan empty."""
+    mem = ArrayLayout(f"mem{g}", (GROUP,))
+    if striped:
+        disk = ArrayLayout(f"disk{g}", (N_IO,))
+        arr = Array(f"g{g}", SHAPE, np.float64, mem, [BLOCK, NONE],
+                    disk, [BLOCK, NONE], sub_chunk_bytes=SUB_CHUNK)
+    else:
+        arr = Array(f"g{g}", SHAPE, np.float64, mem, [BLOCK, NONE],
+                    sub_chunk_bytes=SUB_CHUNK)
+    ag = ArrayGroup(f"ag{g}")
+    ag.include(arr)
+    return ag, arr
+
+
+def workload_app(g: int, data, striped: bool = True):
+    """Write, mutate + rewrite, read back: three ops per group, so the
+    queue holds a mix of kinds when the crash lands."""
+    ag, arr = make_arrays(g, striped)
+
+    def app(ctx):
+        ctx.bind(arr, data[ctx.group_index].copy())
+        yield from ag.write(ctx, f"g{g}")
+        local = ctx.local(arr)
+        if local.size:
+            local += 1.0
+        yield from ag.write(ctx, f"g{g}")
+        yield from ag.read(ctx, f"g{g}")
+
+    return app
+
+
+def reader_app(g: int, striped: bool = True):
+    ag, arr = make_arrays(g, striped)
+
+    def app(ctx):
+        ctx.bind(arr)
+        yield from ag.read(ctx, f"g{g}")
+
+    return app
+
+
+def group_ranks(g: int):
+    return tuple(range(g * GROUP, (g + 1) * GROUP))
+
+
+def crash_runtime(policy: str) -> PandaRuntime:
+    sched = SchedulerConfig(policy=policy, max_in_flight=2, queue_limit=2)
+    spec = FaultSpec(seed=3, crashes=((CRASHED, CRASH_T),))
+    return PandaRuntime(n_compute=N_COMPUTE, n_io=N_IO,
+                        config=PandaConfig(scheduler=sched, faults=spec),
+                        real_payloads=True, trace=True)
+
+
+def run_stress(policy: str, striped: bool = True):
+    rt = crash_runtime(policy)
+    datas = {}
+    assignments = []
+    for g in range(N_GROUPS):
+        _, arr = make_arrays(g, striped)
+        datas[g] = distribute(make_global_array(SHAPE, seed=100 + g),
+                              arr.memory_schema)
+        assignments.append((workload_app(g, datas[g], striped),
+                            group_ranks(g)))
+    result = rt.run_partitioned(assignments)
+    return rt, result, datas
+
+
+def check_readback(rt: PandaRuntime, datas) -> None:
+    for g in range(N_GROUPS):
+        for gi, rank in enumerate(group_ranks(g)):
+            np.testing.assert_array_equal(
+                rt._client_state[rank]["data"][f"g{g}"],
+                datas[g][gi] + 1.0,
+                err_msg=f"group {g} rank {rank}: read-back diverges",
+            )
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_midqueue_crash_every_op_completes_or_recovers(policy):
+    rt, result, datas = run_stress(policy)
+    stats = rt.sched_stats
+    assert stats is not None and stats.policy == policy
+    # 4 groups x (write, rewrite, read): nothing lost from the queue
+    assert len(stats.ops) == 3 * N_GROUPS
+    assert all(r.completed is not None for r in stats.ops)
+    # the crash landed mid-queue: admissions continued after it
+    assert any(r.admitted > CRASH_T for r in stats.ops)
+    assert result.counters["server_crashes"] == 1
+    assert result.counters["faults_injected"] >= 1
+    assert result.counters["recoveries"] >= 1
+    # every dataset's lost portion was relocated onto survivors
+    for g in range(N_GROUPS):
+        assert CRASHED in rt.relocations[f"g{g}"]
+    recs = [rec for rec in rt.trace.records if rec.kind == "recovery"]
+    assert recs and all(rec["crashed"] == CRASHED for rec in recs)
+    assert {rec["mode"] for rec in recs} <= {"midop", "upfront"}
+    # the same-run reads returned what the rewrites stored
+    check_readback(rt, datas)
+
+
+def test_midop_write_recovery_is_observable():
+    """The op in flight when the crash lands is recovered mid-op (the
+    master's failure detector times out and re-gathers); every op
+    admitted afterwards is routed around the dead node up front."""
+    rt, _result, _datas = run_stress("fifo")
+    recs = [rec for rec in rt.trace.records if rec.kind == "recovery"]
+    modes = [rec["mode"] for rec in recs]
+    assert "midop" in modes and "upfront" in modes
+
+
+def test_later_run_reads_route_around_the_relocations():
+    """Relocations persist: a later run's reads are served from the
+    survivors' recovery files even though the injector re-crashes the
+    repaired node at the same offset into the new run.  Regression: the
+    reborn server used to consume the previous run's SHUTDOWN out of
+    the dead node's mailbox and exit at spawn, hanging the master."""
+    rt, _result, datas = run_stress("fair")
+    r2 = rt.run_partitioned(
+        [(reader_app(g), group_ranks(g)) for g in range(N_GROUPS)]
+    )
+    assert r2.counters["server_crashes"] == 1  # re-injected, survived
+    stats = rt.sched_stats
+    assert len(stats.ops) == N_GROUPS
+    assert all(r.completed is not None and r.kind == "read"
+               for r in stats.ops)
+    check_readback(rt, datas)
+
+
+def test_crashed_server_with_empty_share_is_discarded():
+    """Natural chunking of a 2-chunk mesh leaves the third server's
+    plan empty: its crash must not fail or hang reads -- there is
+    nothing to lose."""
+    rt, result, datas = run_stress("fair", striped=False)
+    assert result.counters["server_crashes"] == 1
+    assert all(r.completed is not None for r in rt.sched_stats.ops)
+    r2 = rt.run_partitioned(
+        [(reader_app(g, striped=False), group_ranks(g))
+         for g in range(N_GROUPS)]
+    )
+    assert all(r.completed is not None for r in rt.sched_stats.ops)
+    assert r2.counters["server_crashes"] == 1
+    check_readback(rt, datas)
+
+
+def test_stress_run_is_deterministic():
+    keys = ("server_crashes", "recoveries", "faults_injected",
+            "fault_retries")
+    fingerprints = []
+    for _ in range(2):
+        rt, result, _datas = run_stress("sjf")
+        fingerprints.append((
+            [(r.admit_seq, r.dataset, r.kind, r.arrived, r.admitted,
+              r.completed) for r in rt.sched_stats.ops],
+            {k: result.counters[k] for k in keys},
+        ))
+    assert fingerprints[0] == fingerprints[1]

@@ -198,3 +198,31 @@ def test_store_len():
     assert len(st) == 0
     st.put(1)
     assert len(st) == 1
+
+
+def test_store_clear_drops_queued_items():
+    sim = Simulator()
+    st = Store(sim)
+    st.put("stale-1")
+    st.put("stale-2")
+    assert st.clear() == 2
+    assert len(st) == 0 and st.peek_all() == []
+    assert st.clear() == 0  # idempotent on an empty store
+
+
+def test_store_clear_drops_stale_getters():
+    """Reboot semantics (see PandaRuntime): clearing a dead node's
+    mailbox also forgets any pending getter, so it cannot steal
+    deliveries meant for the reborn process."""
+    sim = Simulator()
+    st = Store(sim)
+    stale = st.get()  # a dead process's receive, never to resume
+    assert st.clear() == 0  # no items, but the stale getter is dropped
+    st.put("fresh")
+    assert not stale.triggered  # the dropped getter took nothing
+
+    def reborn(sim):
+        item = yield st.get()
+        return item
+
+    assert sim.run_process(reborn(sim)) == "fresh"
