@@ -16,6 +16,9 @@ Usage::
     python benchmarks/bench_wallclock.py --update       # rewrite BENCH_wallclock.json
     python benchmarks/bench_wallclock.py --smoke        # quick subset
     python benchmarks/bench_wallclock.py --smoke --check  # CI: fail on >25% regression
+    python benchmarks/bench_wallclock.py --smoke --check --check-counters
+        # CI: additionally require the dispatch/geometry counters to
+        # match the committed values exactly
 
 ``--check`` compares a fresh run against the committed
 ``BENCH_wallclock.json`` and exits non-zero when any suite is more than
@@ -85,27 +88,42 @@ SUITES = {
 def run_suites(smoke: bool, repeats: int = 1) -> dict:
     from repro.bench import profiling
 
-    # one small untimed pass primes imports, numpy, and module caches so
-    # the first timed suite is not charged for interpreter warmup
+    # one small untimed pass primes imports and numpy so the first
+    # timed suite is not charged for interpreter warmup
     SUITES["fig4_smoke"][0]()
 
     out = {}
     for name, (fn, in_smoke) in SUITES.items():
         if smoke and not in_smoke:
             continue
-        profiling.reset()
         best = float("inf")
+        counters = None
         for _ in range(max(1, repeats)):
+            # cold pure-function memos + zeroed counters per repeat:
+            # every repeat of a suite then does identical work, so the
+            # published counters are exact per suite and independent of
+            # suite order, repeat count, or what ran earlier in this
+            # process
+            profiling.clear_caches()
+            profiling.reset()
             t0 = time.perf_counter()
             fn()
             best = min(best, time.perf_counter() - t0)
-        counters = profiling.snapshot()
+            snap = profiling.snapshot()
+            if counters is not None and snap != counters:
+                raise RuntimeError(
+                    f"{name}: counters differ between repeats -- "
+                    f"{counters} vs {snap}"
+                )
+            counters = snap
         out[name] = {"seconds": round(best, 4), "counters": counters}
+        hits, misses = counters["geom_cache_hits"], counters["geom_cache_misses"]
         print(f"{name:22s} {best:8.3f} s  "
               f"(events={counters['events_scheduled']}, "
               f"fast-path={counters['events_fastpath']}, "
               f"plan hits/misses={counters['plan_cache_hits']}/"
               f"{counters['plan_cache_misses']}, "
+              f"geom hits/misses={hits}/{misses}, "
               f"copied={counters['bytes_copied']}B)")
     return out
 
@@ -113,6 +131,39 @@ def run_suites(smoke: bool, repeats: int = 1) -> dict:
 #: absolute slack added to every limit -- timer granularity and
 #: scheduler jitter dominate the sub-100 ms smoke suites.
 CHECK_SLACK_SECONDS = 0.02
+
+#: counters that must match the committed values *exactly*: the event
+#: totals guard the dispatch fast path (a silent fall-back to the heap
+#: shows up as fastpath/scheduled drift), the geometry counters guard
+#: the memo keying (a bad key shows up as a hit-rate collapse).  All are
+#: deterministic host-side tallies, so equality is the right predicate.
+EXACT_COUNTERS = (
+    "events_scheduled",
+    "events_fastpath",
+    "geom_cache_hits",
+    "geom_cache_misses",
+)
+
+
+def check_counters(fresh: dict, committed: dict) -> int:
+    """Exit code 1 when any exact-checked counter drifts from the
+    committed value."""
+    failures = []
+    for name, entry in fresh.items():
+        ref = committed.get("suites", {}).get(name)
+        if ref is None or "counters" not in ref:
+            continue
+        for key in EXACT_COUNTERS:
+            want = ref["counters"].get(key)
+            got = entry["counters"].get(key)
+            if want is not None and got != want:
+                failures.append(f"{name}.{key}: {got} != committed {want}")
+    for f in failures:
+        print("COUNTER DRIFT:", f, file=sys.stderr)
+    if not failures:
+        print(f"counter check OK ({len(fresh)} suite(s), exact match on "
+              f"{', '.join(EXACT_COUNTERS)})")
+    return 1 if failures else 0
 
 
 def check(fresh: dict, committed: dict, tolerance: float,
@@ -159,6 +210,9 @@ def main(argv=None) -> int:
                     help="run only the quick smoke subset")
     ap.add_argument("--check", action="store_true",
                     help="compare against committed BENCH_wallclock.json")
+    ap.add_argument("--check-counters", action="store_true",
+                    help="also require exact equality of the dispatch and "
+                         "geometry counters against the committed values")
     ap.add_argument("--update", action="store_true",
                     help="rewrite BENCH_wallclock.json with this run")
     ap.add_argument("--repeats", type=int, default=1,
@@ -173,8 +227,14 @@ def main(argv=None) -> int:
     if RESULTS_PATH.exists():
         committed = json.loads(RESULTS_PATH.read_text())
 
-    if args.check:
-        return check(fresh, committed, args.tolerance, repeats=args.repeats)
+    if args.check or args.check_counters:
+        rc = 0
+        if args.check_counters:
+            rc = check_counters(fresh, committed)
+        if args.check:
+            rc = check(fresh, committed, args.tolerance,
+                       repeats=args.repeats) or rc
+        return rc
 
     if args.update:
         doc = {

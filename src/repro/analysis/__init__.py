@@ -5,12 +5,14 @@ Three passes, all specific to this repo's load-bearing invariant
 
 - :mod:`repro.analysis.determinism` -- AST lints for nondeterminism
   hazards in sim-visible code (PL001-PL006);
+- :mod:`repro.analysis.hotpath` -- locals-only contract for the
+  engine's batched dispatch loop (PL007);
 - :mod:`repro.analysis.protocol_check` -- cross-reference of the tag
   table against every send/recv site (PL101-PL104);
 - :mod:`repro.analysis.race` -- dynamic schedule-perturbation detector
   for order-dependence the static passes cannot see.
 
-:func:`run_lint` composes the two static passes with the
+:func:`run_lint` composes the static passes with the
 ``pyproject.toml`` allowlist and the content-hash cache; the CLI
 (``python -m repro lint`` / ``python -m repro race``) is a thin shell
 around this module.  See DESIGN.md section 12 for the rule catalogue.
@@ -74,6 +76,7 @@ def run_lint(root: Path, use_cache: bool = True) -> LintResult:
     """Run both static passes over the tree at ``root`` and apply the
     ``[tool.panda-lint]`` allowlist."""
     from repro.analysis.determinism import lint_tree
+    from repro.analysis.hotpath import check_engine
     from repro.analysis.protocol_check import check_tree
 
     cache: Optional[LintCache] = None
@@ -81,6 +84,7 @@ def run_lint(root: Path, use_cache: bool = True) -> LintResult:
         cache = LintCache(root / CACHE_NAME)
     findings = lint_tree(root, cache=cache)
     findings.extend(check_tree(root).findings)
+    findings.extend(check_engine(root))
     pyproject = root / "pyproject.toml"
     entries, problems = load_allowlist(pyproject)
     kept, suppressed = apply_allowlist(findings, entries, pyproject.name)

@@ -56,6 +56,7 @@ RULES: Dict[str, str] = {
     "PL004": "ordering by id() (sorted/sort key=id)",
     "PL005": "id()-keyed container",
     "PL006": "float accumulation over an unordered iterable",
+    "PL007": "per-event attribute/dict lookup in the engine dispatch loop",
     "PL101": "protocol: sent tag has no receive site",
     "PL102": "protocol: received tag has no send site",
     "PL103": "protocol: dead tag (defined but never sent nor received)",

@@ -23,7 +23,9 @@ Sites are recognised syntactically from the repo's communicator idiom:
 - sends: ``comm.send(dst, Tags.X, ...)`` and
   ``comm.bcast_send(ranks, Tags.X, ...)`` (tag is argument #2);
 - recvs: ``comm.recv(tag=Tags.X)``, ``comm.recv(tags={...})``,
-  ``comm.gather_recv(ranks, Tags.X)`` and the non-blocking
+  ``comm.gather_recv(ranks, Tags.X)``, the hoisted-predicate form
+  ``comm.match_pred(tags={...})`` (consumed by a blocking
+  ``recv_ev`` loop) and the non-blocking
   ``comm.try_recv(tags=...)`` (a recv site for coverage, but *not* a
   guard for PL104 -- it never blocks, so it cannot deadlock).
 
@@ -237,7 +239,7 @@ class _SiteScanner:
             site = _Site(tags, self.rel_path, call.lineno, func)
             self.sends.append(site)
             stream.append(("send", tags, call.lineno))
-        elif method in ("recv", "try_recv"):
+        elif method in ("recv", "try_recv", "match_pred"):
             tags = None
             for kw in call.keywords:
                 if kw.arg in ("tag", "tags"):
@@ -246,9 +248,11 @@ class _SiteScanner:
                 return
             site = _Site(tags, self.rel_path, call.lineno, func)
             self.recvs.append(site)
-            if method == "recv":
+            if method != "try_recv":
                 # try_recv never blocks, so it can satisfy PL101/PL102
                 # coverage but must not create PL104 guard edges.
+                # match_pred names the tags of a blocking recv_ev loop,
+                # so it is a recv site for both purposes.
                 stream.append(("recv", tags, call.lineno))
         elif method == "gather_recv":
             if len(call.args) < 2:

@@ -14,7 +14,7 @@ Throughput definitions (paper, section 3):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -22,6 +22,7 @@ import numpy as np
 from repro.core.api import Array, ArrayLayout
 from repro.core.config import PandaConfig
 from repro.core.runtime import PandaRuntime
+from repro.counters import COUNTERS
 from repro.machine import MB, NAS_SP2, MachineSpec
 from repro.schema.distribution import BLOCK, NONE
 from repro.workloads.apps import read_array_app, write_array_app
@@ -42,6 +43,12 @@ class PointResult:
     fast_disk: bool
     elapsed: float
     n_arrays: int = 1
+    #: host-side perf-counter deltas for the timed run alone (events
+    #: dispatched, cache hits, ...) -- snapshot/delta semantics, so
+    #: back-to-back points in one process never accumulate into each
+    #: other.  Excluded from equality: host observability, not a
+    #: simulated result.
+    counters: Dict[str, int] = field(default_factory=dict, compare=False)
 
     @property
     def aggregate(self) -> float:
@@ -112,17 +119,23 @@ def run_panda_point(
     )
     # reads must read something: write the dataset first (not timed)
     runtime.run(write_array_app(arrays, "bench"))
+    # counters are global and additive; delta against a snapshot taken
+    # here so the point reports exactly its own timed run, regardless of
+    # how many points ran before it in this process
+    before = COUNTERS.snapshot()
     if kind == "write":
         # re-write: the timed op (the first write also counts, but this
         # keeps read and write points symmetric)
         result = runtime.run(write_array_app(arrays, "bench"))
     else:
         result = runtime.run(read_array_app(arrays, "bench"))
+    after = COUNTERS.snapshot()
     op = result.ops[-1]
     return PointResult(
         kind=kind, n_compute=n_compute, n_io=n_io,
         array_bytes=op.total_bytes, disk_schema=disk_schema,
         fast_disk=fast_disk, elapsed=op.elapsed, n_arrays=n_arrays,
+        counters={k: after[k] - before[k] for k in after},
     )
 
 

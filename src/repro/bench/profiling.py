@@ -29,12 +29,32 @@ from typing import Iterator
 
 from repro.counters import COUNTERS, PerfCounters
 
-__all__ = ["COUNTERS", "PerfCounters", "reset", "snapshot", "profile"]
+__all__ = [
+    "COUNTERS", "PerfCounters", "reset", "snapshot", "clear_caches", "profile",
+]
 
 
 def reset() -> None:
     """Zero all global performance counters."""
     COUNTERS.reset()
+
+
+def clear_caches() -> None:
+    """Empty every process-wide pure-function memo (plan items, chunk
+    lists, region intersections, contiguous-run decompositions).
+
+    The caches are correctness-neutral -- they memoise pure geometry --
+    but they bleed across suites: a second run of the same figure hits
+    where the first missed.  The benchmark harness calls this (plus
+    :func:`reset`) before each suite so published counter values are
+    exact and independent of suite order."""
+    from repro.core.plan import clear_plan_cache
+    from repro.schema.chunking import clear_geometry_caches
+    from repro.schema.regions import clear_runs_cache
+
+    clear_plan_cache()
+    clear_geometry_caches()
+    clear_runs_cache()
 
 
 def snapshot() -> dict:

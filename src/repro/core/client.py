@@ -191,7 +191,7 @@ class PandaClient:
         self.runtime.oplog.enter(self.rank, op, self.comm.sim.now, schema_file)
         self._mark("cli_op_start", op_id=op.op_id, kind=kind)
         # op setup cost on every client
-        yield from self.comm.handle()
+        yield self.comm.handle_ev()
         if self.is_master:
             yield from self.comm.send(
                 self.runtime.master_server_rank, Tags.REQUEST, op
@@ -213,8 +213,12 @@ class PandaClient:
     def _serve_write(self, op: CollectiveOp):
         done_tag = Tags.OP_DONE if self.is_master else Tags.CLIENT_DONE
         trace = self.runtime.trace
+        # loop-invariant hoists: the predicate, and this rank's chunk
+        # region per array -- both otherwise rebuilt per message
+        pred = self.comm.match_pred(tags={Tags.FETCH, done_tag})
+        my_regions = [self._my_chunk_region(spec) for spec in op.arrays]
         while True:
-            msg = yield from self.comm.recv(tags={Tags.FETCH, done_tag})
+            msg = yield self.comm.recv_ev(pred)
             if msg.tag == done_tag:
                 return
             req: FetchRequest = msg.payload
@@ -228,14 +232,14 @@ class PandaClient:
                     f"{op.op_id}"
                 )
             t0 = self.comm.sim.now if trace is not None else 0.0
-            yield from self.comm.handle()
+            yield self.comm.handle_ev()
             spec = op.arrays[req.array_index]
-            chunk_region = self._my_chunk_region(spec)
+            chunk_region = my_regions[req.array_index]
             nbytes = req.region.size * spec.itemsize
             runs, _ = runs_within(req.region, chunk_region)
             if runs > 1:
                 # strided gather into a send buffer
-                yield from self.comm.copy(nbytes, runs)
+                yield self.comm.copy_ev(nbytes, runs)
             if self.runtime.real_payloads:
                 local = self.local(spec.name)
                 data = extract_region(local, chunk_region.lo, req.region)
@@ -253,8 +257,10 @@ class PandaClient:
     def _serve_read(self, op: CollectiveOp):
         done_tag = Tags.OP_DONE if self.is_master else Tags.CLIENT_DONE
         trace = self.runtime.trace
+        pred = self.comm.match_pred(tags={Tags.PIECE, done_tag})
+        my_regions = [self._my_chunk_region(spec) for spec in op.arrays]
         while True:
-            msg = yield from self.comm.recv(tags={Tags.PIECE, done_tag})
+            msg = yield self.comm.recv_ev(pred)
             if msg.tag == done_tag:
                 return
             piece: PieceData = msg.payload
@@ -268,13 +274,13 @@ class PandaClient:
                     f"{op.op_id}"
                 )
             t0 = self.comm.sim.now if trace is not None else 0.0
-            yield from self.comm.handle()
+            yield self.comm.handle_ev()
             spec = op.arrays[piece.array_index]
-            chunk_region = self._my_chunk_region(spec)
+            chunk_region = my_regions[piece.array_index]
             runs, _ = runs_within(piece.region, chunk_region)
             if runs > 1:
                 # strided scatter out of the receive buffer
-                yield from self.comm.copy(piece.block.nbytes, runs)
+                yield self.comm.copy_ev(piece.block.nbytes, runs)
             if self.runtime.real_payloads:
                 local = self.local(spec.name)
                 data = piece.block.array.view(spec.np_dtype).reshape(

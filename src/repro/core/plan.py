@@ -42,6 +42,7 @@ __all__ = [
     "SubchunkPlan",
     "ServerPlan",
     "build_server_plan",
+    "clear_plan_cache",
     "dataset_file",
     "locate_chunk",
 ]
@@ -102,6 +103,11 @@ class ServerPlan:
 #: loop (fresh dataset per step, same arrays) computes its plan once.
 _PLAN_CACHE: Dict[tuple, Tuple[SubchunkPlan, ...]] = {}
 _PLAN_CACHE_MAX = 1024
+
+
+def clear_plan_cache() -> None:
+    """Empty the plan memo (see ``repro.bench.profiling.clear_caches``)."""
+    _PLAN_CACHE.clear()
 
 
 def _plan_items(

@@ -154,7 +154,7 @@ class PandaServer:
             else:
                 op: CollectiveOp = payload
             self._mark("srv_op_start", op_id=op.op_id, kind=op.kind)
-            yield from self.comm.handle()
+            yield self.comm.handle_ev()
             if self.is_master:
                 self.runtime.catalog_check(op)
                 if self._reliable:
@@ -170,7 +170,7 @@ class PandaServer:
                         self.runtime.server_ranks, Tags.SCHEMA, op
                     )
             # independent plan formation
-            yield from self.comm.compute(self.comm.spec.plan_formation_overhead)
+            yield self.comm.compute_ev(self.comm.spec.plan_formation_overhead)
             self._mark("srv_plan_ready", op_id=op.op_id)
             moved = 0
             if self.server_index not in skip:
@@ -265,9 +265,10 @@ class PandaServer:
             for client_rank, region in pieces:
                 req = FetchRequest(op.op_id, item.array_index, region, item.seq)
                 yield from self.comm.send(client_rank, Tags.FETCH, req)
+            pred = self.comm.match_pred(tag=Tags.DATA, match=is_mine)
             replies = []
             for _ in pieces:
-                msg = yield from self.comm.recv(tag=Tags.DATA, match=is_mine)
+                msg = yield self.comm.recv_ev(pred)
                 replies.append(msg)
         else:
             # the paper's blocking request/reply pairs, client order
@@ -275,8 +276,10 @@ class PandaServer:
             for client_rank, region in pieces:
                 req = FetchRequest(op.op_id, item.array_index, region, item.seq)
                 yield from self.comm.send(client_rank, Tags.FETCH, req)
-                msg = yield from self.comm.recv(src=client_rank, tag=Tags.DATA,
-                                                match=is_mine)
+                msg = yield self.comm.recv_ev(
+                    self.comm.match_pred(src=client_rank, tag=Tags.DATA,
+                                         match=is_mine)
+                )
                 replies.append(msg)
         for msg in replies:
             piece: PieceData = msg.payload
@@ -285,7 +288,7 @@ class PandaServer:
                     f"server {self.server_index}: stray piece "
                     f"{piece.subchunk_seq} during sub-chunk {item.seq}"
                 )
-            yield from self.comm.handle()
+            yield self.comm.handle_ev()
             runs, _ = runs_within(piece.region, item.region)
             total_runs += runs
             if real:
@@ -294,7 +297,7 @@ class PandaServer:
                 )
                 inject_region(buf, item.region.lo, piece.region, data)
         # staging pass: assemble the sub-chunk in traditional order
-        yield from self.comm.copy(item.nbytes, max(total_runs, 1))
+        yield self.comm.copy_ev(item.nbytes, max(total_runs, 1))
         if trace is not None:
             now = self.comm.sim.now
             trace.emit(now, self._src, "srv_gather", op_id=op.op_id,
@@ -385,7 +388,7 @@ class PandaServer:
             runs, _ = runs_within(region, item.region)
             total_runs += runs
         # staging pass: carve the sub-chunk into pieces
-        yield from self.comm.copy(item.nbytes, max(total_runs, 1))
+        yield self.comm.copy_ev(item.nbytes, max(total_runs, 1))
         for client_rank, region in pieces:
             nbytes = region.size * spec.itemsize
             if real:
@@ -467,7 +470,7 @@ class PandaServer:
         """Non-master: execute a mid-op recovery assignment handed over
         by the master's failure detector, then report it separately
         (``recovery=True``) so the master's two gathers stay apart."""
-        yield from self.comm.handle()
+        yield self.comm.handle_ev()
         moved = yield from self._execute_assignment(rmsg.op, rmsg.assignment)
         done = ServerDone(rmsg.op.op_id, self.server_index, moved,
                           recovery=True)
@@ -695,7 +698,7 @@ class PandaServer:
         """Handle one control-plane message; returns True on SHUTDOWN."""
         if msg.tag == Tags.SHUTDOWN:
             return True
-        yield from self.comm.handle()
+        yield self.comm.handle_ev()
         if msg.tag == Tags.REQUEST:
             self._sched_enqueue(msg.payload, queue)
         elif msg.tag == Tags.SCHED:
@@ -795,7 +798,7 @@ class PandaServer:
         to the service policy."""
         op = sop.op
         self._mark("srv_op_start", op_id=sop.admit_seq, kind=op.kind)
-        yield from self.comm.compute(self.comm.spec.plan_formation_overhead)
+        yield self.comm.compute_ev(self.comm.spec.plan_formation_overhead)
         plan = build_server_plan(op, self.server_index, self.runtime.n_io,
                                  self.runtime.config)
         assignments = tuple(a for a in sop.recoveries

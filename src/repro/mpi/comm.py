@@ -19,7 +19,7 @@ from typing import Any, Callable, Iterable, Optional
 
 from repro.mpi.message import CONTROL_MESSAGE_BYTES, MESSAGE_HEADER_BYTES, Message
 from repro.mpi.network import Network
-from repro.sim import Event
+from repro.sim import Event, Timeout
 
 __all__ = ["Communicator"]
 
@@ -33,13 +33,21 @@ class Communicator:
         self.rank = rank
         self.sim = network.sim
         self.spec = network.spec
+        # hoisted for the per-message cost helpers
+        self._handle_s = network.spec.request_handling_overhead
+        self._mailbox = network.mailboxes[rank]
 
     # -- point to point -----------------------------------------------------
     def send(self, dst: int, tag: int, payload: Any = None, nbytes: Optional[int] = None):
-        """Blocking send; completes when the sender's buffer is free.
-        ``nbytes`` defaults to the control-message wire size."""
+        """Blocking send; completes when the transfer has left the node
+        (links released) without waiting for the delivery event.
+        ``nbytes`` defaults to the control-message wire size.
+
+        Returns the transfer generator directly -- callers ``yield
+        from`` it, so routing through an intermediate frame here would
+        only add a hop to every resume of the transfer."""
         wire = CONTROL_MESSAGE_BYTES if nbytes is None else nbytes + MESSAGE_HEADER_BYTES
-        yield from self._run_transfer(dst, tag, payload, wire)
+        return self.network.transfer(self.rank, dst, tag, payload, wire)
 
     def isend(self, dst: int, tag: int, payload: Any = None, nbytes: Optional[int] = None) -> Event:
         """Non-blocking send.  Returns an event that fires on delivery
@@ -55,18 +63,9 @@ class Communicator:
         return done
 
     def _isend_proc(self, dst, tag, payload, wire, done: Event):
-        delivered = yield from self._transfer_gen(dst, tag, payload, wire)
+        delivered = yield from self.network.transfer(self.rank, dst, tag, payload, wire)
         yield delivered
         done.succeed(delivered.value)
-
-    def _transfer_gen(self, dst, tag, payload, wire):
-        delivered = yield from self.network.transfer(self.rank, dst, tag, payload, wire)
-        return delivered
-
-    def _run_transfer(self, dst, tag, payload, wire):
-        # blocking send: run the transfer generator to completion (links
-        # released) without waiting for the delivery event
-        yield from self.network.transfer(self.rank, dst, tag, payload, wire)
 
     def recv(self, src: Optional[int] = None, tag: Optional[int] = None,
              tags: Optional[Iterable[int]] = None,
@@ -104,23 +103,54 @@ class Communicator:
                     match: Optional[Callable[[Message], bool]],
                     ) -> Callable[[Message], bool]:
         """Build the message-matching predicate shared by ``recv`` and
-        ``try_recv``."""
+        ``try_recv``.  The returned closure tests only the criteria
+        actually given -- it runs once per queued message per receive,
+        so dead ``is not None`` checks inside it are pure overhead."""
         if tag is not None and tags is not None:
             raise ValueError("pass either tag or tags, not both")
-        tagset = frozenset(tags) if tags is not None else None
+        if tags is not None:
+            tagset = frozenset(tags)
+            if src is None and match is None:
+                return lambda msg: msg.tag in tagset
+            return lambda msg: (
+                msg.tag in tagset
+                and (src is None or msg.src == src)
+                and (match is None or match(msg))
+            )
+        if tag is not None:
+            if src is None and match is None:
+                return lambda msg: msg.tag == tag
+            if src is None:
+                return lambda msg: msg.tag == tag and match(msg)
+            if match is None:
+                return lambda msg: msg.tag == tag and msg.src == src
+            return lambda msg: (
+                msg.tag == tag and msg.src == src and match(msg)
+            )
+        if src is not None:
+            if match is None:
+                return lambda msg: msg.src == src
+            return lambda msg: msg.src == src and match(msg)
+        if match is not None:
+            return match
+        return lambda msg: True
 
-        def pred(msg: Message) -> bool:
-            if src is not None and msg.src != src:
-                return False
-            if tag is not None and msg.tag != tag:
-                return False
-            if tagset is not None and msg.tag not in tagset:
-                return False
-            if match is not None and not match(msg):
-                return False
-            return True
+    def match_pred(self, src: Optional[int] = None, tag: Optional[int] = None,
+                   tags: Optional[Iterable[int]] = None,
+                   match: Optional[Callable[[Message], bool]] = None,
+                   ) -> Callable[[Message], bool]:
+        """Public form of the predicate builder, for serve loops that
+        hoist a loop-invariant predicate and receive with
+        :meth:`recv_ev` instead of paying closure construction (and a
+        delegating generator frame) per message."""
+        return self._match_pred(src, tag, tags, match)
 
-        return pred
+    def recv_ev(self, pred: Callable[[Message], bool]) -> Event:
+        """Blocking receive, event form: ``msg = yield comm.recv_ev(p)``
+        is :meth:`recv` with a prebuilt predicate and without the
+        intermediate generator frame.  The hot serve loops build their
+        predicate once per op and receive with this."""
+        return self._mailbox.get(pred)
 
     def try_recv(self, src: Optional[int] = None, tag: Optional[int] = None,
                  tags: Optional[Iterable[int]] = None,
@@ -151,6 +181,32 @@ class Communicator:
     def copy(self, nbytes: int, runs: int = 1):
         """Charge a gather/scatter memory copy."""
         yield from self.compute(self.spec.copy_time(nbytes, runs))
+
+    # Event-returning twins of the cost helpers, for per-message hot
+    # paths: ``yield comm.handle_ev()`` charges the same simulated time
+    # as ``yield from comm.handle()`` -- the timeout is created at the
+    # same point in dispatch order -- without spinning up a generator
+    # frame per charge.  A zero-second charge returns the simulator's
+    # shared pre-triggered event, which the engine consumes inline.
+    def compute_ev(self, seconds: float) -> Event:
+        """Event twin of :meth:`compute`."""
+        if seconds > 0:
+            return Timeout(self.sim, seconds)
+        return self.sim.zero
+
+    def handle_ev(self) -> Event:
+        """Event twin of :meth:`handle`."""
+        seconds = self._handle_s
+        if seconds > 0:
+            return Timeout(self.sim, seconds)
+        return self.sim.zero
+
+    def copy_ev(self, nbytes: int, runs: int = 1) -> Event:
+        """Event twin of :meth:`copy`."""
+        seconds = self.spec.copy_time(nbytes, runs)
+        if seconds > 0:
+            return Timeout(self.sim, seconds)
+        return self.sim.zero
 
     # -- simple collectives (used by baselines and the harness) ---------------
     def bcast_send(self, ranks: Iterable[int], tag: int, payload: Any = None,

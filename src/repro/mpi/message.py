@@ -15,7 +15,6 @@ control traffic is latency- not bandwidth-dominated, as on the SP2.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any
 
 __all__ = ["Message", "CONTROL_MESSAGE_BYTES", "MESSAGE_HEADER_BYTES"]
@@ -28,20 +27,30 @@ MESSAGE_HEADER_BYTES = 64
 _serial = itertools.count()
 
 
-@dataclass(frozen=True)
 class Message:
-    """One delivered message."""
+    """One delivered message.
 
-    src: int
-    dst: int
-    tag: int
-    payload: Any
-    nbytes: int
-    #: simulation time at which the message entered the destination
-    #: mailbox (set by the network).
-    arrived_at: float = 0.0
-    #: global monotone id, for deterministic diagnostics.
-    serial: int = field(default_factory=lambda: next(_serial))
+    A plain slotted class rather than a (frozen) dataclass: one is
+    built per delivery, and frozen-dataclass construction routes every
+    field through ``object.__setattr__``, which is measurable at that
+    rate.  Instances are treated as immutable by convention.
+    """
+
+    __slots__ = ("src", "dst", "tag", "payload", "nbytes", "arrived_at",
+                 "serial")
+
+    def __init__(self, src: int, dst: int, tag: int, payload: Any,
+                 nbytes: int, arrived_at: float = 0.0) -> None:
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.payload = payload
+        self.nbytes = nbytes
+        #: simulation time at which the message entered the destination
+        #: mailbox (set by the network).
+        self.arrived_at = arrived_at
+        #: global monotone id, for deterministic diagnostics.
+        self.serial = next(_serial)
 
     def __repr__(self) -> str:
         return (

@@ -21,7 +21,7 @@ from typing import Any, Optional
 
 from repro.machine import MachineSpec
 from repro.mpi.message import Message
-from repro.sim import Event, Resource, Simulator, Store
+from repro.sim import Event, Resource, Simulator, Store, Timeout
 from repro.sim.trace import Trace
 
 __all__ = ["Network"]
@@ -53,6 +53,9 @@ class Network:
         ]
         self.in_links = [Resource(sim, 1, name=f"in[{i}]") for i in range(n_nodes)]
         self.mailboxes = [Store(sim, name=f"mbox[{i}]") for i in range(n_nodes)]
+        # spec constants hoisted off the per-transfer path
+        self._bandwidth = spec.network_bandwidth
+        self._latency = spec.network_latency
         # accounting
         self.messages_sent = 0
         self.bytes_sent = 0
@@ -76,29 +79,37 @@ class Network:
         if nbytes < 0:
             raise ValueError("message size must be >= 0")
         sim = self.sim
-        out_ev = self.out_links[src].acquire()
-        try:
-            yield out_ev
-        except BaseException:
-            # interrupted (node crash) while queued: withdraw so the
-            # dead process cannot be granted -- and forever pin -- a slot
-            self.out_links[src].cancel(out_ev)
-            raise
-        try:
-            in_ev = self.in_links[dst].acquire()
+        out_link = self.out_links[src]
+        out_ev = out_link.acquire()
+        # an uncontended acquire comes back already triggered; yielding
+        # it would resume this generator inline anyway (the engine
+        # consumes triggered waitables without suspending), so skipping
+        # the yield is the same schedule minus a generator round-trip
+        if not out_ev._triggered:
             try:
-                yield in_ev
+                yield out_ev
             except BaseException:
-                self.in_links[dst].cancel(in_ev)
+                # interrupted (node crash) while queued: withdraw so the
+                # dead process cannot be granted -- and forever pin -- a slot
+                out_link.cancel(out_ev)
                 raise
+        try:
+            in_link = self.in_links[dst]
+            in_ev = in_link.acquire()
+            if not in_ev._triggered:
+                try:
+                    yield in_ev
+                except BaseException:
+                    in_link.cancel(in_ev)
+                    raise
             try:
-                transfer_time = nbytes / self.spec.network_bandwidth
+                transfer_time = nbytes / self._bandwidth
                 if transfer_time > 0:
-                    yield sim.timeout(transfer_time)
+                    yield Timeout(sim, transfer_time)
             finally:
-                self.in_links[dst].release()
+                in_link.release()
         finally:
-            self.out_links[src].release()
+            out_link.release()
         self.messages_sent += 1
         self.bytes_sent += nbytes
         if self.trace is not None:
@@ -120,10 +131,14 @@ class Network:
         # static name: one transfer per message makes per-delivery
         # f-strings measurable; src/dst are recoverable from the Message
         delivered = Event(sim, "delivery")
-        sim.schedule(self.spec.network_latency + extra, self._deliver, src, dst, tag, payload, nbytes, delivered)
+        # one packed argument: queue entries carry a single arg slot, so
+        # this avoids a trampoline allocation per message
+        sim.schedule(self._latency + extra, self._deliver,
+                     (src, dst, tag, payload, nbytes, delivered))
         return delivered
 
-    def _deliver(self, src: int, dst: int, tag: int, payload: Any, nbytes: int, delivered: Event) -> None:
+    def _deliver(self, packed: tuple) -> None:
+        src, dst, tag, payload, nbytes, delivered = packed
         msg = Message(src, dst, tag, payload, nbytes, arrived_at=self.sim.now)
         self.mailboxes[dst].put(msg)
         if self.trace is not None:

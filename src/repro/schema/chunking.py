@@ -14,8 +14,9 @@ ask during plan formation:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import product
 from typing import Iterator, List, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.counters import COUNTERS
 from repro.schema.distribution import Dist, block_span, parse_dist
@@ -24,9 +25,27 @@ from repro.schema.regions import Region
 
 __all__ = ["Chunk", "DataSchema"]
 
-#: per-schema bound on memoised chunks_intersecting query regions; the
-#: distinct sub-chunk regions of any one plan are far fewer.
-_INTERSECT_CACHE_MAX = 4096
+#: process-wide memo of chunks_intersecting, keyed (schema, region).
+#: Schemas are value-hashable, so the fresh-but-equal instances a sweep
+#: builds per point share one entry per distinct geometry instead of
+#: re-missing per instance.  Cleared wholesale when full (the working
+#: set of any one sweep is far smaller); ``clear_geometry_caches``
+#: empties it explicitly for counter-exact benchmarking.
+_INTERSECT_CACHE: dict = {}
+_INTERSECT_CACHE_MAX = 1 << 16
+
+#: process-wide memo of chunk lists, same keying rationale.
+_CHUNKS_CACHE: dict = {}
+_CHUNKS_CACHE_MAX = 1 << 10
+
+
+def clear_geometry_caches() -> None:
+    """Empty the schema-level geometry memos (chunk lists and
+    intersection queries).  The benchmark harness calls this between
+    suites so cache-hit counters are exact per suite regardless of
+    suite order."""
+    _INTERSECT_CACHE.clear()
+    _CHUNKS_CACHE.clear()
 
 
 @dataclass(frozen=True)
@@ -82,6 +101,14 @@ class DataSchema:
                 f"schema has {n_block} BLOCK dimensions but the mesh has "
                 f"rank {self.mesh.ndim}; they must match"
             )
+        # schemas key the process-wide geometry memos below; cache the
+        # hash so each lookup rehashes one int, not three tuples
+        object.__setattr__(
+            self, "_hash", hash((self.shape, self.mesh, self.dists))
+        )
+
+    def __hash__(self) -> int:  # cached; dataclass keeps explicit hashes
+        return self._hash
 
     # -- factory -----------------------------------------------------------
     @classmethod
@@ -136,14 +163,20 @@ class DataSchema:
     # figure sweep repeats them thousands of times.
 
     def _chunk_list(self) -> Tuple[Chunk, ...]:
-        """All chunks (including empty ones) by canonical id, cached."""
+        """All chunks (including empty ones) by canonical id, cached on
+        the instance and shared process-wide between equal schemas."""
         try:
             return self._chunks_cache
         except AttributeError:
-            chunks = tuple(
-                Chunk(i, coords, self.chunk_region(coords))
-                for i, coords in enumerate(self.mesh.iter_coords())
-            )
+            chunks = _CHUNKS_CACHE.get(self)
+            if chunks is None:
+                chunks = tuple(
+                    Chunk(i, coords, self.chunk_region(coords))
+                    for i, coords in enumerate(self.mesh.iter_coords())
+                )
+                if len(_CHUNKS_CACHE) >= _CHUNKS_CACHE_MAX:
+                    _CHUNKS_CACHE.clear()
+                _CHUNKS_CACHE[self] = chunks
             object.__setattr__(self, "_chunks_cache", chunks)
             return chunks
 
@@ -163,61 +196,109 @@ class DataSchema:
             if include_empty or not c.empty:
                 yield c
 
-    def chunks_intersecting(self, region: Region) -> List[Tuple[Chunk, Region]]:
+    def chunks_intersecting(self, region: Region) -> Tuple[Tuple[Chunk, Region], ...]:
         """All (chunk, overlap) pairs whose region meets ``region``,
-        in canonical chunk order.  Memoised per (schema, region).
+        in canonical chunk order.  Memoised process-wide per (schema,
+        region) -- the returned tuple is the cached object itself, so
+        hits cost one dict probe and no copy.
 
         Rather than scanning every chunk, the HPF BLOCK rule gives the
         candidate mesh coordinates directly: in each distributed
         dimension, blocks of size ``b = ceil(extent / parts)`` overlap
         ``[lo, hi)`` exactly for indices ``lo // b .. (hi - 1) // b``.
-        The cartesian product of those per-dimension ranges, walked in
-        row-major order, visits the intersecting chunks in ascending
-        canonical id -- the same pairs, in the same order, as the scan.
+        A miss evaluates the whole candidate grid -- coordinates, chunk
+        ids and per-dimension overlap bounds -- as NumPy array
+        arithmetic (one vectorized computation per distinct geometry),
+        flattened in row-major order so the pairs come out in ascending
+        canonical id, exactly as a per-candidate scan would list them.
         """
-        try:
-            cache = self._intersect_cache
-        except AttributeError:
-            cache = {}
-            object.__setattr__(self, "_intersect_cache", cache)
-        hit = cache.get(region)
+        key = (self, region)
+        hit = _INTERSECT_CACHE.get(key)
         if hit is not None:
             COUNTERS.geom_cache_hits += 1
-            return list(hit)
+            return hit
         COUNTERS.geom_cache_misses += 1
-        out: List[Tuple[Chunk, Region]] = []
-        if not region.empty:
-            chunks = self._chunk_list()
-            dims = self.mesh.dims
-            ranges: List[range] = []
-            m = 0
-            feasible = True
-            for extent, dist, rl, rh in zip(
-                self.shape, self.dists, region.lo, region.hi
-            ):
-                if dist.distributed:
-                    parts = dims[m]
-                    b = -(-extent // parts)
-                    lo_i = max(0, rl // b)
-                    hi_i = min(parts - 1, (rh - 1) // b)
-                    if lo_i > hi_i:
-                        feasible = False
-                        break
-                    ranges.append(range(lo_i, hi_i + 1))
-                    m += 1
-            if feasible:
-                for coords in product(*ranges):
-                    idx = 0
-                    for d, c in zip(dims, coords):
-                        idx = idx * d + c
-                    chunk = chunks[idx]
-                    overlap = chunk.region.intersect(region)
-                    if overlap is not None:
-                        out.append((chunk, overlap))
-        if len(cache) >= _INTERSECT_CACHE_MAX:
-            cache.clear()
-        cache[region] = tuple(out)
+        out = self._intersections_of(region)
+        if len(_INTERSECT_CACHE) >= _INTERSECT_CACHE_MAX:
+            _INTERSECT_CACHE.clear()
+        _INTERSECT_CACHE[key] = out
         return out
+
+    def _intersections_of(self, region: Region) -> Tuple[Tuple[Chunk, Region], ...]:
+        """Uncached body of :meth:`chunks_intersecting`."""
+        if region.empty:
+            return ()
+        chunks = self._chunk_list()
+        dims = self.mesh.dims
+        # per distributed dimension: candidate coords and the overlap
+        # interval of every candidate's block with the query, as arrays
+        coord_axes: List[np.ndarray] = []
+        lo_axes: List[np.ndarray] = []
+        hi_axes: List[np.ndarray] = []
+        # per array dimension: the fixed overlap of non-distributed
+        # dims, or None where a distributed axis will be substituted
+        fixed: List[Tuple[int, int]] = []
+        m = 0
+        for extent, dist, rl, rh in zip(self.shape, self.dists, region.lo, region.hi):
+            if dist.distributed:
+                parts = dims[m]
+                m += 1
+                b = -(-extent // parts)
+                lo_i = max(0, rl // b)
+                hi_i = min(parts - 1, (rh - 1) // b)
+                if lo_i > hi_i:
+                    return ()
+                coords = np.arange(lo_i, hi_i + 1, dtype=np.int64)
+                starts = coords * b
+                # trailing mesh positions may hold a short or empty
+                # block (the HPF rule); clip to the array extent
+                stops = np.minimum(starts + b, extent)
+                coord_axes.append(coords)
+                lo_axes.append(np.maximum(starts, rl))
+                hi_axes.append(np.minimum(stops, rh))
+                fixed.append((-1, -1))  # placeholder, filled per candidate
+            else:
+                l0, h0 = max(rl, 0), min(rh, extent)
+                if h0 <= l0:
+                    return ()
+                fixed.append((l0, h0))
+        if not coord_axes:
+            # no distributed dimensions: the single chunk spans the array
+            chunk = chunks[0]
+            overlap = chunk.region.intersect(region)
+            return ((chunk, overlap),) if overlap is not None else ()
+        # the full candidate grid at once: row-major ('ij') flattening
+        # matches the canonical-id cartesian order
+        coord_g = np.meshgrid(*coord_axes, indexing="ij")
+        lo_g = [g.ravel() for g in np.meshgrid(*lo_axes, indexing="ij")]
+        hi_g = [g.ravel() for g in np.meshgrid(*hi_axes, indexing="ij")]
+        idx = coord_g[0].astype(np.int64)
+        for j in range(1, len(coord_g)):
+            idx = idx * dims[j] + coord_g[j]
+        idx_flat = idx.ravel()
+        # survivors: positive overlap volume in every distributed
+        # dimension (empty trailing blocks fall out here)
+        valid = hi_g[0] > lo_g[0]
+        for j in range(1, len(lo_g)):
+            valid &= hi_g[j] > lo_g[j]
+        out: List[Tuple[Chunk, Region]] = []
+        for flat_pos in np.nonzero(valid)[0].tolist():
+            lo_pt: List[int] = []
+            hi_pt: List[int] = []
+            a = 0
+            for d, (l0, h0) in enumerate(fixed):
+                if self.dists[d].distributed:
+                    lo_pt.append(int(lo_g[a][flat_pos]))
+                    hi_pt.append(int(hi_g[a][flat_pos]))
+                    a += 1
+                else:
+                    lo_pt.append(l0)
+                    hi_pt.append(h0)
+            out.append(
+                (chunks[int(idx_flat[flat_pos])],
+                 Region(tuple(lo_pt), tuple(hi_pt)))
+            )
+        return tuple(out)
 
     def owner_of_point(self, point: Sequence[int]) -> Chunk:
         """The chunk containing ``point`` (computed directly, not by

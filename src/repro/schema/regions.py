@@ -14,7 +14,7 @@ from typing import Iterator, Optional, Sequence, Tuple
 
 from repro.counters import COUNTERS
 
-__all__ = ["Region", "runs_within"]
+__all__ = ["Region", "clear_runs_cache", "runs_within"]
 
 
 @dataclass(frozen=True)
@@ -34,8 +34,22 @@ class Region:
             if h < l:
                 raise ValueError(f"inverted extent in region lo={self.lo} hi={self.hi}")
         # normalise: tuples, not lists
-        object.__setattr__(self, "lo", tuple(int(x) for x in self.lo))
-        object.__setattr__(self, "hi", tuple(int(x) for x in self.hi))
+        lo = tuple(int(x) for x in self.lo)
+        hi = tuple(int(x) for x in self.hi)
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+        # regions key every geometry memo (runs_within,
+        # chunks_intersecting, the plan cache); precomputing the hash
+        # and size here turns each lookup's rehash into one attribute
+        # load
+        object.__setattr__(self, "_hash", hash((lo, hi)))
+        n = 1
+        for l, h in zip(lo, hi):
+            n *= h - l
+        object.__setattr__(self, "_size", n)
+
+    def __hash__(self) -> int:  # cached; dataclass keeps explicit hashes
+        return self._hash
 
     # -- constructors ------------------------------------------------------
     @classmethod
@@ -55,14 +69,13 @@ class Region:
     @property
     def size(self) -> int:
         """Number of elements (0 if empty)."""
-        n = 1
-        for l, h in zip(self.lo, self.hi):
-            n *= h - l
-        return n
+        return self._size
 
     @property
     def empty(self) -> bool:
-        return any(h == l for l, h in zip(self.lo, self.hi))
+        # extents are validated non-negative, so zero volume means some
+        # extent is zero
+        return self._size == 0
 
     def nbytes(self, itemsize: int) -> int:
         return self.size * itemsize
@@ -220,6 +233,11 @@ class Region:
 #: working set of (piece, sub-chunk) pairs per sweep is far smaller).
 _RUNS_CACHE: dict = {}
 _RUNS_CACHE_MAX = 1 << 16
+
+
+def clear_runs_cache() -> None:
+    """Empty the runs memo (see ``repro.bench.profiling.clear_caches``)."""
+    _RUNS_CACHE.clear()
 
 
 def runs_within(region: Region, container: Region) -> Tuple[int, int]:

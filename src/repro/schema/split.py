@@ -59,11 +59,18 @@ def _split(region: Region, dim: int, max_elems: int, out: List[Region]) -> None:
         # group whole slabs: floor(max/per_slab) >= 1 slabs per piece
         step = max(1, max_elems // per_slab)
         lo, hi = region.lo[dim], region.hi[dim]
+        # hoist the unchanging prefix/suffix: this loop dominates plan
+        # formation for large chunks, and only dim's extent varies
+        lo_pre, lo_suf = region.lo[:dim], region.lo[dim + 1 :]
+        hi_pre, hi_suf = region.hi[:dim], region.hi[dim + 1 :]
         for start in range(lo, hi, step):
-            stop = min(start + step, hi)
-            piece_lo = region.lo[:dim] + (start,) + region.lo[dim + 1 :]
-            piece_hi = region.hi[:dim] + (stop,) + region.hi[dim + 1 :]
-            out.append(Region(piece_lo, piece_hi))
+            stop = start + step
+            out.append(
+                Region(
+                    lo_pre + (start,) + lo_suf,
+                    hi_pre + (stop if stop < hi else hi,) + hi_suf,
+                )
+            )
     else:
         # one slab is still too large: recurse into each slab
         if dim + 1 >= region.ndim:

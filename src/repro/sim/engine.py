@@ -2,9 +2,9 @@
 
 Design
 ------
-A :class:`Simulator` owns a priority queue of ``(time, sequence,
-callback)`` entries.  Ties in time are broken by insertion order, which
-makes every simulation fully deterministic.
+A :class:`Simulator` owns a priority queue of ``[time, sequence,
+callback, arg]`` entries.  Ties in time are broken by insertion order,
+which makes every simulation fully deterministic.
 
 Zero-delay entries -- the dominant case: event triggers and process
 resumes -- bypass the heap through a FIFO deque (``_ready``).  Because
@@ -14,6 +14,13 @@ carry the current time, draining ``min(heap top, deque head)`` by
 would: the fast path changes wall-clock cost only, never simulated
 behaviour.
 
+Entries are mutable lists recycled through a per-simulator free list
+(``_free``): the dispatch loop nulls an entry's callback/argument slots
+and returns it to the slab, so a sweep that queues millions of events
+reuses a handful of list objects instead of allocating one tuple per
+event.  A recycled entry never retains references to payloads (see
+``tests/test_sim_engine.py::test_slab_entries_do_not_leak_args``).
+
 Simulation *processes* are Python generators.  A process advances by
 ``yield``-ing a waitable -- a :class:`Timeout`, an :class:`Event`,
 another :class:`Process`, or a combinator (:class:`AllOf`,
@@ -21,6 +28,22 @@ another :class:`Process`, or a combinator (:class:`AllOf`,
 generator, sending in the waitable's value.  A failed waitable raises
 inside the generator at the ``yield``, so ordinary ``try``/``except``
 works for error handling.
+
+Two throughput shortcuts deliberately *reorder* same-instant work
+while staying inside the engine's causal contract (an entry can run at
+its timestamp any time after the callback that queued it finishes;
+see DESIGN.md section 9 for the argument):
+
+- a process that yields an **already-triggered** waitable is resumed
+  inline by :meth:`Process._resume` instead of round-tripping a
+  zero-delay entry through the queue;
+- :meth:`Timeout._fire` invokes its callbacks synchronously at the
+  tail of its own dispatch instead of queueing them.
+
+Both correspond to dispatching the would-be entry immediately -- a
+choice the schedule-perturbation race detector
+(:mod:`repro.analysis.race`) explores and the golden determinism tests
+pin: simulated timings are bit-identical.
 
 The engine is single-threaded and re-entrant only through the event
 loop; callbacks must not call :meth:`Simulator.run`.
@@ -48,6 +71,12 @@ __all__ = [
 
 ProcessGenerator = Generator[Any, Any, Any]
 
+#: queue entry layout: ``[time, seq, callback, arg]``.  Lists, not
+#: tuples, so the slab can recycle them (heapq compares (time, seq)
+#: first; seq is globally unique, so the incomparable tail is never
+#: reached).
+Entry = List[Any]
+
 
 class SimulationError(RuntimeError):
     """Raised when the simulation reaches an inconsistent state
@@ -61,6 +90,13 @@ class Interrupt(Exception):
     def __init__(self, cause: object = None) -> None:
         super().__init__(cause)
         self.cause = cause
+
+
+def _apply(pack: Tuple[Callable[..., None], tuple]) -> None:
+    """Trampoline for the rare multi-/zero-argument ``schedule`` call:
+    entries carry exactly one argument slot, so other arities are
+    packed into it."""
+    pack[0](*pack[1])
 
 
 class Event:
@@ -77,7 +113,7 @@ class Event:
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.name = name
-        self.callbacks: Optional[list[Callable[[Event], None]]] = []
+        self.callbacks: Optional[list[Optional[Callable[[Event], None]]]] = []
         self._value: Any = None
         self._exc: Optional[BaseException] = None
         self._triggered = False
@@ -118,9 +154,11 @@ class Event:
         self._triggered = True
         self._value = value
         callbacks, self.callbacks = self.callbacks, None
-        schedule = self.sim.schedule
-        for cb in callbacks:
-            schedule(0.0, cb, self)
+        if callbacks:
+            post = self.sim._post
+            for cb in callbacks:
+                if cb is not None:  # withdrawn (tombstoned) callbacks
+                    post(cb, self)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -138,30 +176,52 @@ class Event:
         self._exc = exc
         callbacks, self.callbacks = self.callbacks, None
         assert callbacks is not None
+        post = self.sim._post
         for cb in callbacks:
-            self.sim.schedule(0.0, cb, self)
+            if cb is not None:
+                post(cb, self)
 
     # -- waiting ---------------------------------------------------------
-    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+    def add_callback(self, cb: Callable[["Event"], None]) -> int:
         """Register ``cb(event)``; runs immediately (via the event queue)
-        if the event has already triggered."""
+        if the event has already triggered.  Returns a token accepted by
+        :meth:`discard_token` (or ``-1`` when nothing was registered
+        because the event had triggered)."""
         self._defused = True
         if self._triggered:
-            self.sim.schedule(0.0, cb, self)
-        else:
-            assert self.callbacks is not None
-            self.callbacks.append(cb)
+            self.sim._post(cb, self)
+            return -1
+        cbs = self.callbacks
+        assert cbs is not None
+        cbs.append(cb)
+        return len(cbs) - 1
+
+    def discard_token(self, token: int) -> None:
+        """O(1) withdrawal of the callback registered under ``token``
+        (from :meth:`add_callback`).  A mid-list slot is tombstoned --
+        not removed -- so other tokens stay valid; the tail is popped
+        (with any tombstones now trailing), so the repeated
+        register-then-withdraw pattern of AnyOf races leaves nothing
+        behind on a long-lived event.  No-op once the event has
+        triggered or for the ``-1`` nothing-registered token."""
+        cbs = self.callbacks
+        if cbs is not None and 0 <= token < len(cbs):
+            if token == len(cbs) - 1:
+                cbs.pop()
+                while cbs and cbs[-1] is None:
+                    cbs.pop()
+            else:
+                cbs[token] = None
 
     def discard_callback(self, cb: Callable[["Event"], None]) -> None:
-        """Unregister a pending callback.  No-op when the event has
+        """Unregister a pending callback by value (prefer
+        :meth:`discard_token` on hot paths).  No-op when the event has
         already triggered (the callback list is consumed then) or the
-        callback was never registered.  Used by :class:`AnyOf` /
-        :class:`AllOf` to abandon losing branches so long-lived events
-        do not accumulate dead closures."""
+        callback was never registered."""
         cbs = self.callbacks
         if cbs is not None:
             try:
-                cbs.remove(cb)
+                self.discard_token(cbs.index(cb))
             except ValueError:
                 pass
 
@@ -189,10 +249,25 @@ class Timeout(Event):
         self._triggered = False
         self._defused = False
         self.delay = delay
-        sim.schedule(delay, self._fire, value)
+        if delay == 0.0:
+            sim._post(self._fire, value)
+        else:
+            sim._push(delay, self._fire, value)
 
     def _fire(self, value: Any) -> None:
-        self.succeed(value)
+        # succeed() with synchronous callbacks: _fire only ever runs as
+        # a dispatched entry's callback, so invoking the waiters here is
+        # the same as dispatching them as the immediately-next entries
+        # at this timestamp -- one queue round-trip less per timeout.
+        if self._triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._triggered = True
+        self._value = value
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for cb in callbacks:
+                if cb is not None:
+                    cb(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "triggered" if self._triggered else "pending"
@@ -203,7 +278,7 @@ class AllOf(Event):
     """Fires when every child event has succeeded; value is the list of
     child values in the order given.  Fails as soon as any child fails."""
 
-    __slots__ = ("_children", "_remaining")
+    __slots__ = ("_children", "_remaining", "_tokens")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim, name="all_of")
@@ -212,8 +287,7 @@ class AllOf(Event):
         if self._remaining == 0:
             self.succeed([])
             return
-        for ev in self._children:
-            ev.add_callback(self._on_child)
+        self._tokens = [ev.add_callback(self._on_child) for ev in self._children]
 
     def _on_child(self, ev: Event) -> None:
         if self._triggered:
@@ -222,8 +296,8 @@ class AllOf(Event):
             self.fail(ev.exception)
             # abandon the branches still pending so they do not keep a
             # dead closure registered forever
-            for child in self._children:
-                child.discard_callback(self._on_child)
+            for child, token in zip(self._children, self._tokens):
+                child.discard_token(token)
             return
         self._remaining -= 1
         if self._remaining == 0:
@@ -235,7 +309,7 @@ class AnyOf(Event):
     of the first child to succeed.  Fails if the first child to trigger
     failed."""
 
-    __slots__ = ("_children", "_child_cbs")
+    __slots__ = ("_children", "_child_cbs", "_tokens")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim, name="any_of")
@@ -243,10 +317,11 @@ class AnyOf(Event):
         if not self._children:
             raise ValueError("AnyOf requires at least one event")
         self._child_cbs: list[Callable[[Event], None]] = []
+        self._tokens: list[int] = []
         for idx, ev in enumerate(self._children):
             cb = lambda e, i=idx: self._on_child(i, e)  # noqa: E731
             self._child_cbs.append(cb)
-            ev.add_callback(cb)
+            self._tokens.append(ev.add_callback(cb))
 
     def _on_child(self, idx: int, ev: Event) -> None:
         if self._triggered:
@@ -256,11 +331,14 @@ class AnyOf(Event):
         else:
             self.succeed((idx, ev.value))
         # the race is decided: withdraw the losing branches' callbacks
-        # from their (possibly never-triggering) events
+        # from their (possibly never-triggering) events -- O(1) each via
+        # the registration tokens
+        tokens = self._tokens
         for j, child in enumerate(self._children):
             if j != idx:
-                child.discard_callback(self._child_cbs[j])
+                child.discard_token(tokens[j])
         self._child_cbs = []
+        self._tokens = []
 
 
 class Process(Event):
@@ -277,10 +355,17 @@ class Process(Event):
     def __init__(self, sim: "Simulator", gen: ProcessGenerator, name: str = "") -> None:
         if not hasattr(gen, "send"):
             raise TypeError(f"Process requires a generator, got {type(gen).__name__}")
-        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        # Event.__init__ inlined: one Process per message at sweep scale
+        self.sim = sim
+        self.name = name or getattr(gen, "__name__", "process")
+        self.callbacks = []
+        self._value = None
+        self._exc = None
+        self._triggered = False
+        self._defused = False
         self._gen = gen
         self._waiting_on: Optional[Event] = None
-        sim.schedule(0.0, self._resume, _InitialResume(sim))
+        sim._post(self._resume, sim._init_sentinel)
         sim._live_processes += 1
 
     @property
@@ -293,7 +378,7 @@ class Process(Event):
         if self._triggered:
             return
         target = _InterruptResume(self.sim, Interrupt(cause))
-        self.sim.schedule(0.0, self._resume, target)
+        self.sim._post(self._resume, target)
 
     def _resume(self, trigger: Event) -> None:
         if self._triggered:
@@ -303,60 +388,77 @@ class Process(Event):
                 return  # stale wakeup from an abandoned AnyOf branch
         self._waiting_on = None
         throw: Optional[BaseException] = None
+        value: Any = None
         if type(trigger) is _InterruptResume:
             throw = trigger.interrupt
         elif trigger._exc is not None:
             trigger._defused = True
             throw = trigger._exc
+        elif type(trigger) is not _InitialResume:
+            value = trigger._value
+        gen = self._gen
+        send = gen.send
+        sim = self.sim
         while True:
             try:
                 if throw is not None:
-                    target = self._gen.throw(throw)
+                    target = gen.throw(throw)
                 else:
-                    target = self._gen.send(
-                        None if type(trigger) is _InitialResume else trigger._value
-                    )
+                    target = send(value)
             except StopIteration as stop:
-                self.sim._live_processes -= 1
+                sim._live_processes -= 1
                 self.succeed(stop.value)
                 return
             except BaseException as exc:
-                self.sim._live_processes -= 1
+                sim._live_processes -= 1
                 self.fail(exc)
                 # if nobody joins this process its crash must not be
                 # silent; give waiters one event-queue round to observe
                 # (defuse) it.
-                self.sim.schedule(0.0, self._report_if_undefused, exc)
+                sim._post(self._report_if_undefused, exc)
                 return
-            try:
-                event = self._coerce(target)
-            except TypeError as exc:
-                # bad yield: throw the error back into the generator so
-                # the process (or its joiner) sees it
-                throw = exc
-                continue
-            break
-        self._waiting_on = event
-        event.add_callback(self._resume)
+            if isinstance(target, Event):
+                if target._triggered:
+                    # fast path: consume an already-triggered waitable
+                    # inline.  Equivalent to dispatching the zero-delay
+                    # resume entry add_callback() would have queued as
+                    # the immediately-next entry -- a same-timestamp
+                    # ordering choice the race detector vets and the
+                    # golden tests pin.
+                    target._defused = True
+                    exc2 = target._exc
+                    if exc2 is not None:
+                        throw = exc2
+                    else:
+                        throw = None
+                        value = target._value
+                    continue
+                self._waiting_on = target
+                target.add_callback(self._resume)
+                return
+            if hasattr(target, "send"):
+                # yielding a bare generator spawns-and-joins it; the
+                # fresh process is never already triggered
+                child = Process(sim, target)
+                self._waiting_on = child
+                child.add_callback(self._resume)
+                return
+            # bad yield: throw the error back into the generator so
+            # the process (or its joiner) sees it
+            throw = TypeError(
+                f"process {self.name!r} yielded {target!r}; expected an Event, "
+                "Timeout, Process, AllOf/AnyOf, or a generator"
+            )
 
     def _report_if_undefused(self, exc: BaseException) -> None:
         if not self._defused:
             self.sim._unhandled.append((self, exc))
 
-    def _coerce(self, target: Any) -> Event:
-        if isinstance(target, Event):
-            return target
-        if hasattr(target, "send"):
-            # yielding a bare generator spawns-and-joins it
-            return Process(self.sim, target)
-        raise TypeError(
-            f"process {self.name!r} yielded {target!r}; expected an Event, "
-            "Timeout, Process, AllOf/AnyOf, or a generator"
-        )
-
 
 class _InitialResume(Event):
-    """Sentinel trigger used for the very first resume of a process."""
+    """Sentinel trigger used for the very first resume of a process.
+    One pre-triggered instance per simulator -- ``_resume`` only ever
+    type-checks it."""
 
     __slots__ = ()
 
@@ -381,16 +483,25 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
-        #: zero-delay entries, same (time, seq, callback, args) layout as
+        self._heap: List[Entry] = []
+        #: zero-delay entries, same [time, seq, callback, arg] layout as
         #: the heap.  Entries always carry the current time and globally
         #: increasing seq numbers, so FIFO order *is* heap order for them.
-        self._ready: deque[tuple[float, int, Callable[..., None], tuple]] = deque()
+        self._ready: deque[Entry] = deque()
+        #: entry slab: dispatched entries with nulled payload slots,
+        #: reused by _post/_push instead of allocating
+        self._free: List[Entry] = []
         self._seq = 0
+        #: entries that took the heap (seq - pushes = fast-path count);
+        #: counter deltas are flushed to COUNTERS in batch at run/step
+        #: exit rather than paying two global increments per event
+        self._heap_pushes = 0
+        self._ctr_seq = 0
+        self._ctr_pushes = 0
         self._live_processes = 0
         self._unhandled: list[tuple[Process, BaseException]] = []
         #: optional observability hook (see :mod:`repro.obs.metrics`):
-        #: ``obs.on_event(t)`` is called after each dispatched event.
+        #: ``obs.on_event(t)`` is called after each dispatched entry.
         #: Observation is passive -- it never schedules or mutates
         #: anything, so simulated behaviour is bit-identical with or
         #: without it.
@@ -407,6 +518,14 @@ class Simulator:
         #: optional dispatch log ``(time, label)`` per dispatched event,
         #: used by the race detector to report diverging event pairs.
         self.dispatch_log: Optional[List[Tuple[float, str]]] = None
+        self._init_sentinel = _InitialResume(self)
+        #: a shared, pre-triggered event: yielding it charges nothing
+        #: and resumes the process inline.  Used by cost helpers
+        #: (e.g. :meth:`repro.mpi.comm.Communicator.handle_ev`) so
+        #: zero-cost charges stay uniform ``yield`` sites.
+        self.zero = Event(self, "zero")
+        self.zero._triggered = True
+        self.zero.callbacks = None
 
     # -- schedule perturbation / dispatch recording ------------------------
     def enable_perturbation(self, seed: int) -> None:
@@ -446,19 +565,63 @@ class Simulator:
         return self._now
 
     # -- scheduling ------------------------------------------------------
+    def _post(self, callback: Callable[[Any], None], arg: Any) -> None:
+        """Queue ``callback(arg)`` at the current instant (the zero-delay
+        fast path), recycling a slab entry when one is free."""
+        free = self._free
+        seq = self._seq
+        if free:
+            e = free.pop()
+            e[0] = self._now
+            e[1] = seq
+            e[2] = callback
+            e[3] = arg
+        else:
+            e = [self._now, seq, callback, arg]
+        self._seq = seq + 1
+        self._ready.append(e)
+
+    def _push(self, delay: float, callback: Callable[[Any], None], arg: Any) -> None:
+        """Queue ``callback(arg)`` after a positive ``delay`` (heap path)."""
+        free = self._free
+        seq = self._seq
+        t = self._now + delay
+        if free:
+            e = free.pop()
+            e[0] = t
+            e[1] = seq
+            e[2] = callback
+            e[3] = arg
+        else:
+            e = [t, seq, callback, arg]
+        self._seq = seq + 1
+        self._heap_pushes += 1
+        heapq.heappush(self._heap, e)
+
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
         """Run ``callback(*args)`` after ``delay`` simulated seconds."""
-        c = COUNTERS
-        c.events_scheduled += 1
-        if delay == 0.0:
-            self._ready.append((self._now, self._seq, callback, args))
-            self._seq += 1
-            c.events_fastpath += 1
-            return
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        heapq.heappush(self._heap, (self._now + delay, self._seq, callback, args))
-        self._seq += 1
+        if len(args) != 1:
+            # entries carry one argument slot; pack other arities
+            args = ((callback, args),)
+            callback = _apply
+        if delay == 0.0:
+            self._post(callback, args[0])
+        else:
+            self._push(delay, callback, args[0])
+
+    def _flush_counters(self) -> None:
+        """Fold the per-run scheduling deltas into the global counters.
+        Called when a dispatch loop exits; keeps ``COUNTERS`` exact
+        without per-event increments on the hot path."""
+        scheduled = self._seq - self._ctr_seq
+        if scheduled:
+            pushes = self._heap_pushes - self._ctr_pushes
+            COUNTERS.events_scheduled += scheduled
+            COUNTERS.events_fastpath += scheduled - pushes
+            self._ctr_seq = self._seq
+            self._ctr_pushes = self._heap_pushes
 
     # -- factory helpers ---------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -479,11 +642,11 @@ class Simulator:
         return Process(self, gen, name)
 
     # -- execution ---------------------------------------------------------
-    def _peek(self) -> Optional[tuple[float, int, Callable[..., None], tuple]]:
+    def _peek(self) -> Optional[Entry]:
         """The next entry in global (time, seq) order, or None."""
         ready, heap = self._ready, self._heap
         if ready:
-            # seq is globally unique, so the tuple comparison never
+            # seq is globally unique, so the list comparison never
             # reaches the (incomparable) callback element
             if heap and heap[0] < ready[0]:
                 return heap[0]
@@ -497,20 +660,26 @@ class Simulator:
         if ready:
             heap = self._heap
             if heap and heap[0] < ready[0]:
-                t, _seq, callback, args = heapq.heappop(heap)
+                e = heapq.heappop(heap)
             else:
-                t, _seq, callback, args = ready.popleft()
+                e = ready.popleft()
         elif self._heap:
-            t, _seq, callback, args = heapq.heappop(self._heap)
+            e = heapq.heappop(self._heap)
         else:
             return False
+        t = e[0]
         if t < self._now - 1e-15:
             raise SimulationError("time went backwards")
         if t > self._now:
             self._now = t
-        callback(*args)
+        callback = e[2]
+        arg = e[3]
+        e[2] = e[3] = None
+        self._free.append(e)
+        callback(arg)
         if self.obs is not None:
             self.obs.on_event(t)
+        self._flush_counters()
         return True
 
     def run(self, until: Optional[float] = None) -> float:
@@ -520,44 +689,100 @@ class Simulator:
         no queued events).  Returns the final simulation time."""
         if self._instrumented:
             return self._run_instrumented(until)
-        # step() inlined: one bound-method call per event is measurable
-        # at sweep scale.  Must stay behaviour-identical to step().
+        if until is not None:
+            return self._run_until(until)
+        # The batched drain: everything loop-invariant lives in locals,
+        # entries cycle through the slab, and each iteration is one
+        # merged (time, seq) pop -- identical dispatch order to step().
         ready, heap = self._ready, self._heap
         unhandled = self._unhandled
         obs = self.obs
         pop = heapq.heappop
-        while heap or ready:
-            if ready:
-                if heap and heap[0] < ready[0]:
-                    entry = pop(heap)
+        popleft = ready.popleft
+        free_append = self._free.append
+        now = self._now
+        try:
+            while True:
+                if ready:
+                    if heap and heap[0] < ready[0]:
+                        e = pop(heap)
+                    else:
+                        e = popleft()
+                elif heap:
+                    e = pop(heap)
                 else:
-                    entry = ready.popleft()
-            else:
-                entry = pop(heap)
-            t = entry[0]
-            if until is not None and t > until:
-                # not due yet: put it back (the heap orders by the same
-                # (time, seq) key wherever the entry came from) and stop
-                heapq.heappush(heap, entry)
-                self._now = until
-                break
-            if t > self._now:
-                self._now = t
-            elif t < self._now - 1e-15:
-                raise SimulationError("time went backwards")
-            entry[2](*entry[3])
-            if obs is not None:
-                obs.on_event(t)
-            if unhandled:
-                proc, exc = unhandled.pop(0)
-                raise SimulationError(
-                    f"unhandled failure in process {proc.name!r}"
-                ) from exc
-        if until is None and self._live_processes > 0:
+                    break
+                t = e[0]
+                if t > now:
+                    self._now = now = t
+                elif t < now - 1e-15:
+                    raise SimulationError("time went backwards")
+                cb = e[2]
+                arg = e[3]
+                e[2] = e[3] = None
+                free_append(e)
+                cb(arg)
+                if obs is not None:
+                    obs.on_event(t)
+                if unhandled:
+                    proc, exc = unhandled.pop(0)
+                    raise SimulationError(
+                        f"unhandled failure in process {proc.name!r}"
+                    ) from exc
+        finally:
+            self._flush_counters()
+        if self._live_processes > 0:
             raise SimulationError(
                 f"deadlock: {self._live_processes} live process(es) but no "
                 "pending events"
             )
+        return now
+
+    def _run_until(self, until: float) -> float:
+        """:meth:`run` with a stop time: per-entry due check, otherwise
+        the same merged (time, seq) dispatch."""
+        ready, heap = self._ready, self._heap
+        unhandled = self._unhandled
+        obs = self.obs
+        pop = heapq.heappop
+        popleft = ready.popleft
+        free_append = self._free.append
+        now = self._now
+        try:
+            while heap or ready:
+                if ready:
+                    if heap and heap[0] < ready[0]:
+                        e = pop(heap)
+                    else:
+                        e = popleft()
+                else:
+                    e = pop(heap)
+                t = e[0]
+                if t > until:
+                    # not due yet: put it back (the heap orders by the
+                    # same (time, seq) key wherever the entry came
+                    # from) and stop
+                    heapq.heappush(heap, e)
+                    self._now = until
+                    break
+                if t > now:
+                    self._now = now = t
+                elif t < now - 1e-15:
+                    raise SimulationError("time went backwards")
+                cb = e[2]
+                arg = e[3]
+                e[2] = e[3] = None
+                free_append(e)
+                cb(arg)
+                if obs is not None:
+                    obs.on_event(t)
+                if unhandled:
+                    proc, exc = unhandled.pop(0)
+                    raise SimulationError(
+                        f"unhandled failure in process {proc.name!r}"
+                    ) from exc
+        finally:
+            self._flush_counters()
         return self._now
 
     def _run_instrumented(self, until: Optional[float] = None) -> float:
@@ -571,44 +796,50 @@ class Simulator:
         ready, heap = self._ready, self._heap
         rng = self._perturb
         log = self.dispatch_log
-        while heap or ready:
-            # all queued entries carrying the minimal timestamp: the
-            # ready deque is time-sorted (appends stamp the current,
-            # monotone clock), so its candidates form a prefix
-            if ready:
-                t0 = min(ready[0][0], heap[0][0]) if heap else ready[0][0]
-            else:
-                t0 = heap[0][0]
-            if until is not None and t0 > until:
-                self._now = until
-                break
-            candidates: List[Tuple[float, int, Callable[..., None], tuple]] = []
-            while ready and ready[0][0] == t0:
-                candidates.append(ready.popleft())
-            while heap and heap[0][0] == t0:
-                candidates.append(heapq.heappop(heap))
-            if rng is not None and len(candidates) > 1:
-                entry = candidates.pop(rng.randrange(len(candidates)))
-            else:
-                entry = min(candidates, key=lambda e: e[1])
-                candidates.remove(entry)
-            for other in candidates:
-                heapq.heappush(heap, other)
-            t = entry[0]
-            if t > self._now:
-                self._now = t
-            elif t < self._now - 1e-15:
-                raise SimulationError("time went backwards")
-            if log is not None:
-                log.append((t, self._dispatch_label(entry[2])))
-            entry[2](*entry[3])
-            if self.obs is not None:
-                self.obs.on_event(t)
-            if self._unhandled:
-                proc, exc = self._unhandled.pop(0)
-                raise SimulationError(
-                    f"unhandled failure in process {proc.name!r}"
-                ) from exc
+        try:
+            while heap or ready:
+                # all queued entries carrying the minimal timestamp: the
+                # ready deque is time-sorted (appends stamp the current,
+                # monotone clock), so its candidates form a prefix
+                if ready:
+                    t0 = min(ready[0][0], heap[0][0]) if heap else ready[0][0]
+                else:
+                    t0 = heap[0][0]
+                if until is not None and t0 > until:
+                    self._now = until
+                    break
+                candidates: List[Entry] = []
+                while ready and ready[0][0] == t0:
+                    candidates.append(ready.popleft())
+                while heap and heap[0][0] == t0:
+                    candidates.append(heapq.heappop(heap))
+                if rng is not None and len(candidates) > 1:
+                    entry = candidates.pop(rng.randrange(len(candidates)))
+                else:
+                    entry = min(candidates, key=lambda e: e[1])
+                    candidates.remove(entry)
+                for other in candidates:
+                    heapq.heappush(heap, other)
+                t = entry[0]
+                if t > self._now:
+                    self._now = t
+                elif t < self._now - 1e-15:
+                    raise SimulationError("time went backwards")
+                if log is not None:
+                    cb = entry[2]
+                    if cb is _apply:  # unwrap packed multi-arg schedules
+                        cb = entry[3][0]
+                    log.append((t, self._dispatch_label(cb)))
+                entry[2](entry[3])
+                if self.obs is not None:
+                    self.obs.on_event(t)
+                if self._unhandled:
+                    proc, exc = self._unhandled.pop(0)
+                    raise SimulationError(
+                        f"unhandled failure in process {proc.name!r}"
+                    ) from exc
+        finally:
+            self._flush_counters()
         if until is None and self._live_processes > 0:
             raise SimulationError(
                 f"deadlock: {self._live_processes} live process(es) but no "

@@ -43,6 +43,16 @@ class Resource:
         self.name = name
         # formatted once: acquire() runs millions of times per sweep
         self._acquire_name = f"acquire({name})"
+        # shared pre-triggered event for uncontended grants: every such
+        # grant is consumed inline by the engine (or skipped entirely by
+        # callers that test ``_triggered``), so one immutable "granted"
+        # event per resource replaces an allocation per acquire.  cancel
+        # of a granted event releases the slot, which is per-call
+        # behaviour and thus safe to share.
+        self._granted = Event(sim, self._acquire_name)
+        self._granted._triggered = True
+        self._granted._value = self
+        self._granted.callbacks = None
         self._in_use = 0
         self._waiters: deque[Event] = deque()
         # utilisation accounting
@@ -73,29 +83,38 @@ class Resource:
 
     def acquire(self) -> Event:
         """Return an event that fires when a server slot is granted."""
-        ev = Event(self.sim, self._acquire_name)
         if self._in_use < self.capacity and not self._waiters:
-            self._account()
-            self._in_use += 1
+            # uncontended grant: hand back the shared already-triggered
+            # event (succeed() on a waiter-less event only sets that
+            # state anyway); the engine resumes the yielding process
+            # inline.  _account is inlined -- two method calls per
+            # message add up.
+            in_use = self._in_use
+            now = self.sim._now
+            self._busy_time += in_use * (now - self._last_change)
+            self._last_change = now
+            self._in_use = in_use + 1
             if self.obs is not None:
-                self.obs.sample(self.sim._now, self._in_use)
-            ev.succeed(self)
-        else:
-            self._waiters.append(ev)
+                self.obs.sample(now, self._in_use)
+            return self._granted
+        ev = Event(self.sim, self._acquire_name)
+        self._waiters.append(ev)
         return ev
 
     def release(self) -> None:
         """Release one held slot, waking the next FIFO waiter if any."""
-        if self._in_use <= 0:
+        in_use = self._in_use
+        if in_use <= 0:
             raise RuntimeError(f"release of idle resource {self.name!r}")
-        self._account()
-        self._in_use -= 1
+        now = self.sim._now
+        self._busy_time += in_use * (now - self._last_change)
+        self._last_change = now
+        self._in_use = in_use - 1
         if self._waiters and self._in_use < self.capacity:
-            self._account()
-            self._in_use += 1
+            self._in_use += 1  # same instant: busy-time integral unchanged
             self._waiters.popleft().succeed(self)
         if self.obs is not None:
-            self.obs.sample(self.sim._now, self._in_use)
+            self.obs.sample(now, self._in_use)
 
     def cancel(self, ev: Event) -> None:
         """Withdraw a pending acquisition (e.g. the waiter was
@@ -141,18 +160,55 @@ class Store:
         return len(self._items)
 
     def put(self, item: Any) -> None:
-        self._items.append(item)
-        self._dispatch()
+        items = self._items
+        items.append(item)
+        getters = self._getters
+        if getters:
+            # between dispatches no (getter, item) pair matches, so the
+            # only matches a put can create involve the new item: hand
+            # it to the oldest getter that accepts it.  Equivalent to
+            # _dispatch, minus re-scanning items that cannot match.
+            for g_idx, (ev, pred) in enumerate(getters):
+                if pred is None or pred(item):
+                    items.pop()
+                    del getters[g_idx]
+                    ev.succeed(item)
+                    break
         if self.obs is not None:
-            self.obs.sample(self.sim._now, len(self._items))
+            self.obs.sample(self.sim._now, len(items))
 
     def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
         """Return an event that fires with the oldest matching item."""
         ev = Event(self.sim, self._get_name)
-        self._getters.append((ev, predicate))
-        self._dispatch()
+        items = self._items
+        if items and not self._getters:
+            # fast path: no getter queued ahead of us, so if an item
+            # matches we can consume it right here -- exactly what
+            # _dispatch would do, minus its scan machinery.  The event
+            # comes back already triggered and is consumed inline.
+            if predicate is None:
+                match_idx: Optional[int] = 0
+            else:
+                match_idx = None
+                for i_idx, item in enumerate(items):
+                    if predicate(item):
+                        match_idx = i_idx
+                        break
+            if match_idx is not None:
+                item = items[match_idx]
+                del items[match_idx]
+                ev._triggered = True
+                ev._value = item
+                ev.callbacks = None
+                if self.obs is not None:
+                    self.obs.sample(self.sim._now, len(items))
+                return ev
+            self._getters.append((ev, predicate))
+        else:
+            self._getters.append((ev, predicate))
+            self._dispatch()
         if self.obs is not None:
-            self.obs.sample(self.sim._now, len(self._items))
+            self.obs.sample(self.sim._now, len(items))
         return ev
 
     def peek_all(self) -> list[Any]:

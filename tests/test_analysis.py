@@ -487,3 +487,74 @@ class TestRunLint:
         out = capsys.readouterr().out
         assert rc == 0
         assert "all schedules agree" in out
+
+
+class TestHotPathRule:
+    """PL007: the locals-only contract on the engine's drain loops."""
+
+    def _check(self, tmp_path, body):
+        from repro.analysis import hotpath
+
+        engine = tmp_path / hotpath.ENGINE_PATH
+        engine.parent.mkdir(parents=True)
+        engine.write_text(textwrap.dedent(body))
+        return hotpath.check_engine(tmp_path)
+
+    def test_self_lookup_in_loop_is_flagged(self, tmp_path):
+        findings = self._check(tmp_path, """
+            class Simulator:
+                def run(self):
+                    while True:
+                        e = self._heap[0]
+        """)
+        assert [f.rule for f in findings] == ["PL007"]
+        assert "self._heap" in findings[0].message
+
+    def test_hoisted_locals_are_clean(self, tmp_path):
+        findings = self._check(tmp_path, """
+            class Simulator:
+                def run(self):
+                    heap = self._heap
+                    pop = heap.pop
+                    while True:
+                        e = pop()
+        """)
+        assert findings == []
+
+    def test_attribute_store_is_exempt(self, tmp_path):
+        # the mirrored-local clock publish (self._now = now = t) must
+        # not trip the rule: stores cannot be hoisted
+        findings = self._check(tmp_path, """
+            class Simulator:
+                def run(self):
+                    now = 0.0
+                    while True:
+                        self._now = now = now + 1.0
+        """)
+        assert findings == []
+
+    def test_sanctioned_lookup_is_exempt(self, tmp_path):
+        findings = self._check(tmp_path, """
+            class Simulator:
+                def run(self):
+                    obs = self.obs
+                    while True:
+                        if obs is not None:
+                            obs.on_event(0.0)
+        """)
+        assert findings == []
+
+    def test_unscanned_methods_are_ignored(self, tmp_path):
+        # _run_instrumented is the slow twin by design
+        findings = self._check(tmp_path, """
+            class Simulator:
+                def _run_instrumented(self):
+                    while True:
+                        e = self._heap[0]
+        """)
+        assert findings == []
+
+    def test_real_engine_honours_the_contract(self):
+        from repro.analysis.hotpath import check_engine
+
+        assert check_engine(REPO_ROOT) == []

@@ -138,3 +138,28 @@ def test_format_figure_contains_all_cells():
     assert "16 MB" in text
     assert "2 ionodes" in text and "4 ionodes" in text
     assert f"{q.aggregate_mbps:.2f}" in text
+
+
+# --- counter hygiene ----------------------------------------------------------------
+
+
+def test_back_to_back_points_report_identical_counters():
+    """Counters are global and additive; PointResult must report the
+    delta for its own timed run only.  Two identical points run
+    back-to-back in one process (warm memo caches and all) therefore
+    report byte-identical counter deltas -- any bleed from the first run
+    into the second shows up as a mismatch here."""
+    from repro.bench import profiling
+
+    results = []
+    for _ in range(2):
+        # cold memos each time: the second point must not look cheaper
+        # merely because the first populated the geometry/plan caches
+        profiling.clear_caches()
+        results.append(run_panda_point("write", 8, 2, (32, 32, 32)))
+    r1, r2 = results
+    assert r1.counters["events_scheduled"] > 0
+    assert r1.counters["events_fastpath"] > 0
+    assert r1.counters == r2.counters
+    # and the simulated result is identical too, of course
+    assert r1.elapsed == r2.elapsed

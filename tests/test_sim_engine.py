@@ -325,3 +325,108 @@ def test_nested_process_chain_returns_through_layers():
         return v + 1
 
     assert sim.run_process(level1(sim)) == 6
+
+
+# --- batched dispatch: slab recycling and callback withdrawal -----------------
+
+
+def test_slab_entries_do_not_leak_args():
+    """Recycled queue entries must drop their callback/arg references at
+    dispatch: a stale arg would alias into the next event scheduled from
+    the slab (and pin arbitrarily large payloads in memory)."""
+    sim = Simulator()
+    seen = []
+    payloads = [object() for _ in range(8)]
+    for i, payload in enumerate(payloads):
+        sim.schedule(0.25 * i, seen.append, payload)
+    sim.run()
+    assert seen == payloads
+    # every freed slab entry is scrubbed
+    assert sim._free
+    assert all(e[2] is None and e[3] is None for e in sim._free)
+    # entries recycled from the slab deliver exactly their own arg
+    seen.clear()
+    sim.schedule(1.0, seen.append, "fresh")
+    sim.run()
+    assert seen == ["fresh"]
+
+
+def test_discard_mid_list_callback():
+    """Withdrawing a middle callback (the AnyOf loser pattern) must not
+    shift later tokens, and the remaining callbacks still fire in
+    registration order."""
+    sim = Simulator()
+    ev = sim.event()
+    fired = []
+    cb_a = lambda e: fired.append("a")
+    cb_b = lambda e: fired.append("b")
+    cb_c = lambda e: fired.append("c")
+    ta = ev.add_callback(cb_a)
+    tb = ev.add_callback(cb_b)
+    tc = ev.add_callback(cb_c)
+    assert (ta, tb, tc) == (0, 1, 2)
+    ev.discard_token(tb)  # mid-list: tombstoned, not shifted
+    assert len(ev.callbacks) == 3 and ev.callbacks[1] is None
+    ev.discard_token(tc)  # last: popped, sweeping the tombstone's tail
+    assert ev.callbacks == [cb_a]
+    ev.succeed("v")
+    sim.run()
+    assert fired == ["a"]
+
+
+def test_discard_callback_by_identity_mid_list():
+    sim = Simulator()
+    ev = sim.event()
+    fired = []
+    cbs = [lambda e, i=i: fired.append(i) for i in range(3)]
+    for cb in cbs:
+        ev.add_callback(cb)
+    ev.discard_callback(cbs[1])
+    ev.succeed(None)
+    sim.run()
+    assert fired == [0, 2]
+
+
+# --- batched dispatch: order equivalence across run modes ---------------------
+
+
+def test_dispatch_order_identical_across_run_modes():
+    from hypothesis import given, settings, strategies as st
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from([0.0, 0.25, 0.5, 1.0]),
+                              st.integers(0, 3)),
+                    min_size=1, max_size=25))
+    def check(plan):
+        def execute(mode):
+            sim = Simulator()
+            order = []
+
+            def make_cb(ident, children):
+                def cb(arg):
+                    order.append((sim.now, ident))
+                    # dispatch-time scheduling exercises the merged
+                    # ready/heap drain: one zero-delay and one delayed
+                    # child per flag bit
+                    if children & 1:
+                        sim.schedule(0.0, make_cb((ident, 0), 0), None)
+                    if children & 2:
+                        sim.schedule(0.5, make_cb((ident, 1), 0), None)
+                return cb
+
+            for i, (delay, children) in enumerate(plan):
+                sim.schedule(delay, make_cb(i, children), None)
+            if mode == "run":
+                sim.run()
+            elif mode == "step":
+                while sim.step():
+                    pass
+            else:  # instrumented: run() routes through _run_instrumented
+                sim.enable_dispatch_log()
+                sim.run()
+            return order
+
+        runs = [execute(m) for m in ("run", "step", "instrumented")]
+        assert runs[0] == runs[1] == runs[2]
+
+    check()
