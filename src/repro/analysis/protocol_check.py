@@ -30,8 +30,17 @@ Sites are recognised syntactically from the repo's communicator idiom:
   guard for PL104 -- it never blocks, so it cannot deadlock).
 
 A light intraprocedural dataflow resolves the repo's tag-set variables
-(``listen = {...} ; listen.add(Tags.RECOVER)``) and tag aliases
-(``done_tag = Tags.OP_DONE if master else Tags.CLIENT_DONE``).  A
+(``listen = {...} ; listen.add(Tags.RECOVER)``, the set-union growth
+forms ``listen |= {Tags.SCHED}`` / ``listen.update(...)`` /
+``listen = base | {...}`` that the sharded server loop uses to build
+per-role listen sets) and tag aliases (``done_tag = Tags.OP_DONE if
+master else Tags.CLIENT_DONE``).  The dataflow is branch-insensitive
+-- growth in an ``if`` arm counts unconditionally -- which
+over-approximates listen sets, exactly right for PL101 coverage.  A
+variable mutated in a way the dataflow cannot resolve is dropped from
+the environment, never left at a stale value: with several shard
+masters listening on role-dependent sets, a stale set would report
+false PL101/PL102 findings on the sharded send/recv sites.  A
 send/recv whose tag cannot be resolved to ``Tags`` members (the generic
 plumbing inside ``mpi/comm.py`` itself) is skipped, not guessed.
 
@@ -136,6 +145,13 @@ def _resolve_tags(node: ast.AST,
         if a is None or b is None:
             return None
         return a | b
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        # set union: base | {Tags.SCHED}
+        a = _resolve_tags(node.left, env)
+        b = _resolve_tags(node.right, env)
+        if a is None or b is None:
+            return None
+        return a | b
     if isinstance(node, ast.Call):
         # set(...) / frozenset(...) wrapping a resolvable literal
         if (isinstance(node.func, ast.Name)
@@ -173,21 +189,38 @@ class _SiteScanner:
                 self._scan_stmt(stmt, f"{func}:{node.name}"
                                 if func == "<module>" else func, env)
             return
-        # dataflow: tag-set variable assignments and .add() growth
+        # dataflow: tag-set variable assignments and set growth
+        # (.add / .update / |=).  An assignment or mutation the
+        # resolver cannot follow must *drop* the variable -- a stale
+        # value would mis-resolve every later send/recv naming it.
         if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
                 isinstance(node.targets[0], ast.Name):
             got = _resolve_tags(node.value, env)
             if got is not None:
                 env[node.targets[0].id] = got
+            else:
+                env.pop(node.targets[0].id, None)
+        if isinstance(node, ast.AugAssign) and \
+                isinstance(node.target, ast.Name):
+            name = node.target.id
+            base = env.get(name)
+            got = (_resolve_tags(node.value, env)
+                   if isinstance(node.op, ast.BitOr) else None)
+            if base is not None and got is not None:
+                env[name] = base | got
+            else:
+                env.pop(name, None)
         if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
             call = node.value
             if (isinstance(call.func, ast.Attribute)
-                    and call.func.attr == "add"
+                    and call.func.attr in ("add", "update")
                     and isinstance(call.func.value, ast.Name)
                     and call.func.value.id in env and call.args):
                 got = _resolve_tags(call.args[0], env)
                 if got is not None:
                     env[call.func.value.id] = env[call.func.value.id] | got
+                else:
+                    env.pop(call.func.value.id, None)
         for call in self._calls_in(node):
             self._classify_call(call, func, env)
         for child in ast.iter_child_nodes(node):

@@ -267,10 +267,49 @@ def _scheduled_scenario(policy: str) -> Scenario:
     return Scenario(f"sched-{policy}", run)
 
 
+def _sharded_scenario(n_shards: int) -> Scenario:
+    """Concurrent scheduled writes with the admission plane partitioned
+    over ``n_shards`` shard masters.  Staggered causal arrivals as in
+    :func:`_scheduled_scenario`; the fingerprint additionally pins each
+    op to its admitting shard (``admit_seq % n_shards``), so a
+    perturbed dispatch order can neither change any shard's admission
+    schedule nor re-route a dataset to a different owner."""
+
+    def run(perturb_seed: Optional[int]) -> ScenarioRun:
+        from repro.bench.sched import run_concurrent_writes
+
+        live_log: List[DispatchLog] = []
+
+        def hook(runtime: object) -> None:
+            sim = runtime.sim  # type: ignore[attr-defined]
+            live_log.append(sim.enable_dispatch_log())
+            if perturb_seed is not None:
+                sim.enable_perturbation(perturb_seed)
+
+        result, stats = run_concurrent_writes(
+            "fair", n_apps=4, n_io=4, size_mb=16, max_in_flight=2,
+            stagger=1e-3, runtime_hook=hook, n_shards=n_shards,
+        )
+        assert stats is not None
+        fingerprint = tuple(
+            f"{r.admit_seq}%{n_shards}={r.admit_seq % n_shards}:"
+            f"{r.dataset}:{r.arrived.hex()}:"
+            f"{r.admitted.hex()}:{r.completed.hex()}:{r.moved}"
+            for r in stats.ops
+        ) + tuple(
+            f"{op.kind}:{op.elapsed.hex()}:{op.total_bytes}"
+            for op in result.ops
+        )
+        return ScenarioRun(fingerprint, tuple(live_log[0]))
+
+    return Scenario(f"sched-sharded-{n_shards}", run)
+
+
 def panda_scenarios(with_faults: bool = True) -> List[Scenario]:
     """The representative op set: read+write roundtrips over natural
     and reorganizing schemas, concurrent scheduled writes under every
-    policy, and (optionally) the fault paths."""
+    policy and under sharded admission, and (optionally) the fault
+    paths."""
     from repro.core.scheduler import POLICIES
 
     scenarios = [
@@ -280,6 +319,7 @@ def panda_scenarios(with_faults: bool = True) -> List[Scenario]:
                             faults=None, real_payloads=False),
     ]
     scenarios.extend(_scheduled_scenario(p) for p in POLICIES)
+    scenarios.extend(_sharded_scenario(k) for k in (2, 4))
     if with_faults:
         from repro.faults import FaultSpec
 

@@ -9,7 +9,7 @@ test (or by the paper's one-op-at-a-time loop when ``policy`` is None).
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -17,7 +17,7 @@ from repro.bench.experiments import shape_for_mb
 from repro.core.api import Array, ArrayGroup, ArrayLayout
 from repro.core.config import PandaConfig
 from repro.core.runtime import PandaRuntime, RunResult
-from repro.core.scheduler import SchedStats, SchedulerConfig
+from repro.core.scheduler import SchedStats, SchedulerConfig, ShardedSchedStats
 from repro.machine import NAS_SP2, MachineSpec
 from repro.schema.distribution import BLOCK, NONE
 
@@ -64,7 +64,8 @@ def run_concurrent_writes(
     sub_chunk_bytes: Optional[int] = None,
     spec: MachineSpec = NAS_SP2,
     runtime_hook: Optional[Callable[[PandaRuntime], None]] = None,
-) -> Tuple[RunResult, Optional[SchedStats]]:
+    n_shards: int = 1,
+) -> Tuple[RunResult, Optional[Union[SchedStats, ShardedSchedStats]]]:
     """Run ``n_apps`` concurrent collective writes (one per disjoint
     client group, each ``size_mb`` MB) over shared I/O nodes.
 
@@ -76,7 +77,8 @@ def run_concurrent_writes(
     (group *i* computes ``i * stagger``) make REQUEST arrival order
     causal rather than a dispatch-order coincidence.  ``runtime_hook``
     is called with the runtime before the run starts (the race detector
-    uses it to instrument the simulator).
+    uses it to instrument the simulator).  ``n_shards > 1`` partitions
+    admission across that many shard masters (scheduled runs only).
     """
     if n_apps < 1 or n_compute % n_apps:
         raise ValueError(
@@ -93,6 +95,7 @@ def run_concurrent_writes(
             policy=policy,
             max_in_flight=max_in_flight if max_in_flight else n_apps,
             queue_limit=queue_limit,
+            n_shards=n_shards,
         )
     runtime = PandaRuntime(
         n_compute=n_compute, n_io=n_io, spec=spec,

@@ -283,10 +283,15 @@ def cmd_sched(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         priorities = args.priorities
+    if args.shards > 1 and args.baseline:
+        print("--shards needs the scheduler; drop --baseline",
+              file=sys.stderr)
+        return 2
     for policy in policies:
         result, stats = run_concurrent_writes(
             policy, args.apps, n_compute=args.compute, n_io=args.io,
             size_mb=args.size_mb, priorities=priorities,
+            n_shards=args.shards,
         )
         if stats is None:
             print("unscheduled baseline (head-of-line, one op at a time):")
@@ -397,6 +402,10 @@ def build_parser() -> argparse.ArgumentParser:
                          type=lambda s: [int(x) for x in s.split(",")],
                          help="comma-separated fair-share weights, one "
                               "per app (default all 1)")
+    p_sched.add_argument("--shards", type=int, default=1,
+                         help="shard the admission plane over this many "
+                              "dataset-partitioned masters (<= --io; "
+                              "DESIGN.md section 14)")
     p_sched.add_argument("--baseline", action="store_true",
                          help="also run the unscheduled head-of-line "
                               "baseline")

@@ -72,6 +72,11 @@ class PandaClient:
         #: dropped deliveries (see repro.faults); duplicate PIECEs from
         #: retries are idempotent re-injections.
         self._reliable = runtime.injector is not None
+        #: master client only: the server rank the current op's REQUEST
+        #: went to -- the dataset's owning shard master.  With sharded
+        #: admission in fault mode the completion wait re-checks this
+        #: against the ring and re-sends the REQUEST if the owner died.
+        self._op_owner_rank = runtime.master_server_rank
         self._src = f"client{rank}"
         #: persistent per-rank state: op serial, group counters, bound data
         self._state = state
@@ -193,8 +198,11 @@ class PandaClient:
         # op setup cost on every client
         yield self.comm.handle_ev()
         if self.is_master:
+            # the dataset's owning shard master; identical to
+            # master_server_rank when admission is unsharded
+            self._op_owner_rank = self.runtime.op_master_rank(op.dataset)
             yield from self.comm.send(
-                self.runtime.master_server_rank, Tags.REQUEST, op
+                self._op_owner_rank, Tags.REQUEST, op
             )
         if kind == "write":
             yield from self._serve_write(op)
@@ -209,6 +217,52 @@ class PandaClient:
         self.runtime.oplog.leave(self.rank, op, self.comm.sim.now)
         return op.op_id
 
+    # -- sharded fault mode: owner failover ------------------------------------
+    @property
+    def _owner_failover(self) -> bool:
+        """Master client, sharded admission, fault mode: the completion
+        wait must poll the failure detector so a crashed shard master's
+        queued/running op can be re-requested from the next live owner
+        on the ring."""
+        return (self._reliable and self.is_master
+                and self.runtime.n_shards > 1)
+
+    def _owner_pred(self, op: CollectiveOp, data_tag: int):
+        """Failover-mode predicate: server-directed data traffic is
+        taken freely, but a completion counts only if it comes from the
+        *current* owner (read dynamically -- it changes on failover) for
+        the current op.  A late OP_DONE from a master that died right
+        after sending it is left unmatched rather than mistaken for the
+        re-issued op's completion."""
+        def pred(m) -> bool:
+            if m.tag == data_tag:
+                return True
+            return (m.tag == Tags.OP_DONE
+                    and m.src == self._op_owner_rank
+                    and m.payload.op_id == op.op_id)
+        return pred
+
+    def _reroute_request(self, op: CollectiveOp):
+        """The completion wait timed out.  If the owner the REQUEST went
+        to has since crashed, the ring re-partitions its datasets onto
+        the surviving shard masters: re-send the REQUEST to the new
+        owner.  Re-admission is safe -- the crashed master's servers
+        abort the orphaned run, and a re-run writes the same
+        deterministic bytes.  A timeout with the owner still live
+        proves nothing (slow is not dead) and changes nothing."""
+        rt = self.runtime
+        owner_rank = rt.op_master_rank(op.dataset)
+        if owner_rank == self._op_owner_rank:
+            return
+        rt.injector.note_retry(
+            "request", dataset=op.dataset, op_id=op.op_id,
+            owner_rank=owner_rank,
+        )
+        self._mark("cli_request_retry", op_id=op.op_id,
+                   owner_rank=owner_rank)
+        self._op_owner_rank = owner_rank
+        yield from self.comm.send(owner_rank, Tags.REQUEST, op)
+
     # -- write path: answer fetch requests ------------------------------------
     def _serve_write(self, op: CollectiveOp):
         done_tag = Tags.OP_DONE if self.is_master else Tags.CLIENT_DONE
@@ -216,9 +270,19 @@ class PandaClient:
         # loop-invariant hoists: the predicate, and this rank's chunk
         # region per array -- both otherwise rebuilt per message
         pred = self.comm.match_pred(tags={Tags.FETCH, done_tag})
+        failover = self._owner_failover
+        if failover:
+            pred = self._owner_pred(op, Tags.FETCH)
+            detect = self.runtime.injector.spec.detect_timeout
         my_regions = [self._my_chunk_region(spec) for spec in op.arrays]
         while True:
-            msg = yield self.comm.recv_ev(pred)
+            if failover:
+                msg = yield from self.comm.recv(match=pred, timeout=detect)
+                if msg is None:
+                    yield from self._reroute_request(op)
+                    continue
+            else:
+                msg = yield self.comm.recv_ev(pred)
             if msg.tag == done_tag:
                 return
             req: FetchRequest = msg.payload
@@ -258,9 +322,19 @@ class PandaClient:
         done_tag = Tags.OP_DONE if self.is_master else Tags.CLIENT_DONE
         trace = self.runtime.trace
         pred = self.comm.match_pred(tags={Tags.PIECE, done_tag})
+        failover = self._owner_failover
+        if failover:
+            pred = self._owner_pred(op, Tags.PIECE)
+            detect = self.runtime.injector.spec.detect_timeout
         my_regions = [self._my_chunk_region(spec) for spec in op.arrays]
         while True:
-            msg = yield self.comm.recv_ev(pred)
+            if failover:
+                msg = yield from self.comm.recv(match=pred, timeout=detect)
+                if msg is None:
+                    yield from self._reroute_request(op)
+                    continue
+            else:
+                msg = yield self.comm.recv_ev(pred)
             if msg.tag == done_tag:
                 return
             piece: PieceData = msg.payload

@@ -47,7 +47,10 @@ class PandaConfig:
     #: inter-op admission control + scheduling (see
     #: :class:`repro.core.scheduler.SchedulerConfig`).  ``None`` (the
     #: default) keeps the paper's one-op-at-a-time server loop and its
-    #: simulated timings bit-identical.
+    #: simulated timings bit-identical.  ``SchedulerConfig.n_shards > 1``
+    #: partitions the admission plane across several shard masters by
+    #: consistent-hashing of dataset names (requires ``n_shards`` <=
+    #: the runtime's I/O node count).
     scheduler: Optional[SchedulerConfig] = None
 
     def __post_init__(self) -> None:

@@ -45,6 +45,7 @@ __all__ = [
     "clear_plan_cache",
     "dataset_file",
     "locate_chunk",
+    "op_participants",
 ]
 
 
@@ -106,8 +107,9 @@ _PLAN_CACHE_MAX = 1024
 
 
 def clear_plan_cache() -> None:
-    """Empty the plan memo (see ``repro.bench.profiling.clear_caches``)."""
+    """Empty the plan memos (see ``repro.bench.profiling.clear_caches``)."""
     _PLAN_CACHE.clear()
+    _PARTICIPANTS_CACHE.clear()
 
 
 def _plan_items(
@@ -146,6 +148,44 @@ def _plan_items(
     if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
         _PLAN_CACHE.clear()
     _PLAN_CACHE[key] = frozen
+    return frozen
+
+
+#: memo of participant tuples.  Keyed like the plan memo but without
+#: the per-server dimension, so sharded admission at 1024 servers does
+#: not have to form (or cache) 1024 per-server plans per op shape just
+#: to learn who has work.
+_PARTICIPANTS_CACHE: Dict[tuple, Tuple[int, ...]] = {}
+_PARTICIPANTS_CACHE_MAX = 1024
+
+
+def op_participants(op: CollectiveOp, n_servers: int) -> Tuple[int, ...]:
+    """Server indices with at least one sub-chunk of work for ``op``:
+    exactly the servers whose :func:`build_server_plan` is non-empty.
+
+    Server *i* participates iff some non-empty disk chunk has index
+    ``i mod n_servers`` (an empty chunk region splits into zero
+    sub-chunks, so it contributes no plan items).  Sub-chunking never
+    changes participation -- any non-empty region yields >= 1 piece --
+    so the memo key is just the array specs and the server count."""
+    key = (op.arrays, n_servers)
+    hit = _PARTICIPANTS_CACHE.get(key)
+    if hit is not None:
+        return hit
+    have_work = [False] * n_servers
+    remaining = n_servers
+    for spec in op.arrays:
+        for chunk in spec.disk_schema.chunks():
+            idx = chunk.index % n_servers
+            if not have_work[idx] and not chunk.region.empty:
+                have_work[idx] = True
+                remaining -= 1
+        if not remaining:
+            break
+    frozen = tuple(i for i, w in enumerate(have_work) if w)
+    if len(_PARTICIPANTS_CACHE) >= _PARTICIPANTS_CACHE_MAX:
+        _PARTICIPANTS_CACHE.clear()
+    _PARTICIPANTS_CACHE[key] = frozen
     return frozen
 
 

@@ -28,6 +28,18 @@ in flight on the same servers, a piece can never be absorbed into the
 wrong operation.  Because per-group ``op_id`` counters restart at 0 in
 every client group, cross-group completion routing additionally uses
 the scheduler's globally unique ``admit_seq`` (:class:`ServerDone`).
+
+Shard routing (``SchedulerConfig.n_shards > 1``): "master server" above
+generalizes to *the dataset's owning shard master* -- the REQUEST goes
+to the server the consistent-hash ring names for ``op.dataset``
+(:class:`~repro.core.scheduler.ShardMap`), that owner broadcasts SCHED
+to the op's participant servers, and each participant routes its
+SERVER_DONE back to the admitting shard, carried as
+:attr:`SchedOp.shard <repro.core.scheduler.SchedOp>` inside the SCHED
+payload.  ``admit_seq`` is striped so ``admit_seq % n_shards`` recovers
+the admitting shard from a completion alone.  In fault mode RECOVER
+carries a ``reply_to`` rank for the same reason (any shard master may
+run a mid-op recovery).
 """
 
 from __future__ import annotations

@@ -28,7 +28,12 @@ Mechanics
   index's sub-chunks to the recovery files, and the crashed node's own
   (possibly partial) file is never consulted again.
 
-The master server (index 0) is assumed reliable, as in the paper.
+Server index 0 is assumed reliable, as the paper assumes of its single
+master.  With sharded admission (``SchedulerConfig.n_shards > 1``)
+shard 0 is the always-live root of the consistent-hash ring; the other
+shard masters (indices ``1..n_shards-1``) may crash, and a crashed
+shard's queued datasets re-partition onto the surviving masters
+(:meth:`repro.core.scheduler.ShardMap.owner` with a ``live`` set).
 """
 
 from __future__ import annotations
@@ -83,10 +88,16 @@ class RecoveryAssignment:
 @dataclass(frozen=True)
 class RecoverMsg:
     """Master server -> survivor, tag RECOVER: execute this recovery
-    assignment for ``op`` (mid-op, after the failure detector fired)."""
+    assignment for ``op`` (mid-op, after the failure detector fired).
+
+    ``reply_to`` is the rank the survivor sends its recovery completion
+    to; ``-1`` (the single-master default) means the master server's
+    rank.  Sharded admission sets it to the issuing shard master's
+    rank, since any shard master may run a mid-op recovery."""
 
     op: CollectiveOp
     assignment: RecoveryAssignment
+    reply_to: int = -1
 
 
 @dataclass(frozen=True)

@@ -247,6 +247,20 @@ class PandaRuntime:
         self.n_io = n_io
         self.spec = spec
         self.config = config or PandaConfig()
+        sched_cfg = self.config.scheduler
+        if sched_cfg is not None and sched_cfg.n_shards > n_io:
+            raise ValueError(
+                f"{sched_cfg.n_shards} admission shards need at least as "
+                f"many I/O nodes; this runtime has {n_io}"
+            )
+        #: consistent-hash dataset -> shard-master map (sharded
+        #: admission only; ``None`` single-master keeps every routing
+        #: decision, and timing, bit-identical to the unsharded code).
+        self.shard_map = None
+        if sched_cfg is not None and sched_cfg.n_shards > 1:
+            from repro.core.scheduler import ShardMap
+
+            self.shard_map = ShardMap(sched_cfg.n_shards)
         self.real_payloads = real_payloads
         self.trace = Trace() if trace else None
         self.sim = Simulator()
@@ -314,6 +328,31 @@ class PandaRuntime:
 
     def filesystem(self, server_index: int) -> FileSystem:
         return self.filesystems[server_index]
+
+    # -- admission-shard routing ----------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        """Admission shards (1 = the paper's single master server)."""
+        sched = self.config.scheduler
+        return sched.n_shards if sched is not None else 1
+
+    def shard_owner(self, dataset: str) -> int:
+        """Shard-master server index owning ``dataset``'s admission.
+        In fault mode a crashed shard master's datasets fall through to
+        the next live shard on the ring (minimal relocation), which is
+        how its queued work re-partitions onto the survivors."""
+        if self.shard_map is None:
+            return 0
+        live = None
+        if self.injector is not None and self.crashed_servers:
+            live = {s for s in range(self.n_shards)
+                    if s not in self.crashed_servers}
+        return self.shard_map.owner(dataset, live)
+
+    def op_master_rank(self, dataset: str) -> int:
+        """Rank a client sends ``dataset``'s REQUEST to: the owning
+        shard master (the single master server when unsharded)."""
+        return self.server_rank(self.shard_owner(dataset))
 
     # -- catalog (.schema files) -------------------------------------------------
     def catalog_check(self, op: CollectiveOp) -> None:
@@ -428,6 +467,17 @@ class PandaRuntime:
                             n_apps=len(assignments))
         counters_before = COUNTERS.snapshot()
         self.crashed_servers = set()  # a fresh run repairs every node
+        sched_cfg = self.config.scheduler
+        if sched_cfg is not None and sched_cfg.n_shards > 1:
+            # sharded mode: the aggregate stats container is created
+            # here so every shard master can register its own
+            # SchedStats into it (single-master mode: the master
+            # replaces runtime.sched_stats itself, as before)
+            from repro.core.scheduler import ShardedSchedStats
+
+            self.sched_stats = ShardedSchedStats(
+                policy=sched_cfg.policy, n_shards=sched_cfg.n_shards
+            )
         server_procs = []
         for i in range(self.n_io):
             # reboot semantics: messages queued for a node that died in

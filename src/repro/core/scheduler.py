@@ -40,6 +40,22 @@ Policies (deterministic, per-server, identical inputs on all servers):
   weighted by each op's ``priority`` (a weight-2 op receives twice the
   service of a weight-1 op while both are active).
 
+Sharded admission (``n_shards > 1``): the single master is replaced by
+``n_shards`` *shard masters* (server indices ``0..n_shards-1``), each
+owning the datasets a consistent-hash :class:`ShardMap` assigns to it.
+Clients route each REQUEST to the owning shard master; each shard
+master runs its own bounded :class:`AdmissionQueue` and SCHED broadcast
+group.  Admission sequence numbers interleave (shard *s* issues
+``s, s + n_shards, s + 2*n_shards, ...``) so ``admit_seq`` stays
+globally unique and doubles as the completion-routing key: the shard of
+an op is ``admit_seq % n_shards``.  Because the hash is per-dataset,
+same-dataset ops always meet at the same shard, so the per-shard
+conflict check preserves the serial-equivalence invariant unchanged.
+Cross-shard fairness is the same priority-weighted DRR: every server
+applies identical weights to whatever mix of shards' ops it holds, so a
+tenant's global share holds without any cross-shard communication
+(which would be dispatch-order-dependent and break determinism).
+
 This module imports nothing from the rest of :mod:`repro.core` at
 module level so that :mod:`repro.core.config` can import
 :class:`SchedulerConfig` without an import cycle.
@@ -47,9 +63,12 @@ module level so that :mod:`repro.core.config` can import
 
 from __future__ import annotations
 
+import hashlib
+from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Tuple
+from typing import (TYPE_CHECKING, Any, Deque, Dict, Iterable, List,
+                    Optional, Set, Tuple)
 
 if TYPE_CHECKING:  # avoid import cycles; annotations are strings
     from repro.core.protocol import CollectiveOp
@@ -63,6 +82,8 @@ __all__ = [
     "SchedStats",
     "SchedulerConfig",
     "ServerScheduler",
+    "ShardMap",
+    "ShardedSchedStats",
     "estimate_op",
 ]
 
@@ -88,6 +109,12 @@ class SchedulerConfig:
     #: fair-share deficit quantum in bytes per round, scaled by each
     #: op's priority weight.
     quantum_bytes: int = 1 << 20
+    #: admission-plane shards.  1 (the default) is the paper's single
+    #: master server, bit-identical to every earlier timing.  k > 1
+    #: partitions datasets over shard masters 0..k-1 by consistent
+    #: hash; each shard master runs its own queue and max_in_flight /
+    #: queue_limit budget.
+    n_shards: int = 1
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -101,6 +128,8 @@ class SchedulerConfig:
             raise ValueError("queue_limit must be >= 1")
         if self.quantum_bytes < 1:
             raise ValueError("quantum_bytes must be >= 1")
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -120,6 +149,10 @@ class SchedOp:
     estimate: float
     skip: Tuple[int, ...] = ()
     recoveries: Tuple["RecoveryAssignment", ...] = ()
+    #: index of the shard master that admitted this op; completions
+    #: (SERVER_DONE) route back to server rank ``shard``.  Always 0 in
+    #: single-master mode.
+    shard: int = 0
 
 
 def estimate_op(op: "CollectiveOp", n_io: int, spec: Any,
@@ -130,6 +163,72 @@ def estimate_op(op: "CollectiveOp", n_io: int, spec: Any,
     from repro.core.costmodel import predict
 
     return predict(op, len(op.client_ranks), n_io, spec, config).elapsed
+
+
+# -- dataset -> shard-master routing -----------------------------------------
+
+def _hash_point(label: str) -> int:
+    """64-bit point on the hash ring.  sha256 so the placement is
+    stable across processes and Python versions (``hash()`` is
+    per-process salted)."""
+    return int.from_bytes(hashlib.sha256(label.encode()).digest()[:8], "big")
+
+
+class ShardMap:
+    """Consistent-hash ring mapping dataset names to shard masters.
+
+    Each shard contributes ``vnodes`` points on a 64-bit ring; a
+    dataset is owned by the shard whose point first follows the
+    dataset's hash (clockwise, wrapping).  The classic properties hold
+    by construction and are property-tested in ``tests/test_sharding.py``:
+
+    - **total coverage** -- every dataset has exactly one owner;
+    - **balance** -- with enough vnodes the per-shard share concentrates
+      around ``1/n_shards``;
+    - **minimal relocation** -- removing a shard (``live`` excludes it)
+      moves only the datasets that shard owned, each to the next live
+      point on the ring; adding shard *n* moves only the datasets that
+      now hash to one of shard *n*'s points.  Crash re-partition of a
+      shard master's queue is exactly the ``live``-restricted lookup.
+    """
+
+    def __init__(self, n_shards: int, vnodes: int = 64) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.n_shards = n_shards
+        self.vnodes = vnodes
+        points = [
+            (_hash_point(f"shard:{s}:{v}"), s)
+            for s in range(n_shards)
+            for v in range(vnodes)
+        ]
+        points.sort()
+        self._points: List[Tuple[int, int]] = points
+        self._keys: List[int] = [h for h, _ in points]
+
+    def owner(self, dataset: str, live: Optional[Set[int]] = None) -> int:
+        """The shard owning ``dataset``.  With ``live``, dead shards'
+        points are skipped, so ownership falls through to the next live
+        shard clockwise -- the minimal-relocation re-partition."""
+        key = _hash_point(f"ds:{dataset}")
+        start = bisect_left(self._keys, key)
+        n = len(self._points)
+        for step in range(n):
+            _, shard = self._points[(start + step) % n]
+            if live is None or shard in live:
+                return shard
+        raise ValueError("no live shard on the ring")
+
+    def shares(self, datasets: Iterable[str],
+               live: Optional[Set[int]] = None) -> Dict[int, int]:
+        """Dataset count per owning shard (balance diagnostics)."""
+        out: Dict[int, int] = {}
+        for ds in datasets:
+            s = self.owner(ds, live)
+            out[s] = out.get(s, 0) + 1
+        return out
 
 
 # -- per-server execution state ---------------------------------------------
@@ -189,6 +288,11 @@ class _Policy:
     every server reaches identical decisions independently."""
 
     name = "base"
+    #: the admission key is monotone in arrival order, so the first
+    #: eligible entry in seq order is the minimum -- the queue's
+    #: admission scan can stop at the first hit.  SJF keys on the
+    #: estimate and must scan every eligible entry.
+    admission_by_seq = True
 
     def admission_key(self, seq: int, estimate: float) -> tuple:
         """Sort key among *eligible* queued ops at admission time."""
@@ -222,6 +326,7 @@ class SJFPolicy(_Policy):
     boundary.  Ties break by admission order."""
 
     name = "sjf"
+    admission_by_seq = False
 
     def admission_key(self, seq: int, estimate: float) -> tuple:
         return (estimate, seq)
@@ -333,17 +438,36 @@ def _conflicts(a: "CollectiveOp", b: "CollectiveOp") -> bool:
 
 
 class AdmissionQueue:
-    """The master server's bounded arrival buffer.
+    """A shard master's bounded arrival buffer.
 
     ``push`` refuses beyond ``limit`` -- but the server never lets it
     come to that: while the queue is full it stops taking REQUESTs out
-    of its mailbox, which is where the backpressure actually lives."""
+    of its mailbox, which is where the backpressure actually lives.
 
-    def __init__(self, limit: int, policy: _Policy) -> None:
+    ``seq_start``/``seq_step`` interleave the sequence numbers of the
+    admission shards: shard *s* of *k* issues ``s, s + k, s + 2k, ...``
+    so ``admit_seq`` stays globally unique without coordination and
+    encodes its issuing shard as ``admit_seq % k``.  The single-master
+    default (0, 1) is the historical numbering, bit-for-bit.
+
+    Internally the queue indexes arrivals by sequence number and by
+    dataset, so one admission decision costs O(eligible-scan) instead
+    of the former O(queue^2) full conflict cross-product -- the
+    difference between a 10,000-op backlog being benchmarkable and not.
+    Since ops conflict only within a dataset, an entry's "no earlier
+    conflicting arrival" test needs only the entries of its own
+    dataset, and seq-keyed policies (fifo/fair) stop at the first
+    eligible entry (see ``_Policy.admission_by_seq``)."""
+
+    def __init__(self, limit: int, policy: _Policy,
+                 seq_start: int = 0, seq_step: int = 1) -> None:
         self.limit = limit
         self.policy = policy
-        self._q: List[_Arrival] = []
-        self._next_seq = 0
+        # dict preserves insertion order == ascending seq order
+        self._q: Dict[int, _Arrival] = {}
+        self._by_dataset: Dict[str, List[_Arrival]] = {}
+        self._next_seq = seq_start
+        self._seq_step = seq_step
         self.peak = 0
 
     def __len__(self) -> int:
@@ -362,30 +486,57 @@ class AdmissionQueue:
                 "full"
             )
         entry = _Arrival(self._next_seq, op, estimate, now)
-        self._next_seq += 1
-        self._q.append(entry)
-        self.peak = max(self.peak, len(self._q))
+        self._next_seq += self._seq_step
+        self._q[entry.seq] = entry
+        self._by_dataset.setdefault(op.dataset, []).append(entry)
+        if len(self._q) > self.peak:
+            self.peak = len(self._q)
         return entry
+
+    def _earlier_conflict(self, entry: _Arrival) -> bool:
+        """Does an earlier-arrived queued op on the same dataset
+        conflict with ``entry``?  (Cross-dataset ops never conflict.)"""
+        for other in self._by_dataset[entry.op.dataset]:
+            if other is entry:
+                return False
+            if other.op.kind == "write" or entry.op.kind == "write":
+                return True
+        return False
 
     def admissible(self, in_flight: List["CollectiveOp"]) -> Optional[_Arrival]:
         """The next arrival the policy may admit: conflict-free against
         every in-flight op and every *earlier-arrived* queued op (so
         same-dataset ops keep their arrival order -- the serial-
         equivalence invariant)."""
-        eligible: List[_Arrival] = []
-        for i, e in enumerate(self._q):
-            if any(_conflicts(e.op, op) for op in in_flight):
+        # datasets blocked by in-flight ops: a write blocks everything
+        # on its dataset, a read blocks only writes
+        write_block: Set[str] = set()
+        read_block: Set[str] = set()
+        for op in in_flight:
+            (write_block if op.kind == "write" else read_block).add(op.dataset)
+        first_hit = self.policy.admission_by_seq
+        best: Optional[_Arrival] = None
+        best_key: Optional[tuple] = None
+        for e in self._q.values():  # ascending seq
+            ds = e.op.dataset
+            if ds in write_block or (e.op.kind == "write" and ds in read_block):
                 continue
-            if any(_conflicts(e.op, self._q[j].op) for j in range(i)):
+            if self._earlier_conflict(e):
                 continue
-            eligible.append(e)
-        if not eligible:
-            return None
-        return min(eligible,
-                   key=lambda e: self.policy.admission_key(e.seq, e.estimate))
+            if first_hit:
+                # admission_key is monotone in seq: first eligible wins
+                return e
+            key = self.policy.admission_key(e.seq, e.estimate)
+            if best_key is None or key < best_key:
+                best, best_key = e, key
+        return best
 
     def remove(self, entry: _Arrival) -> None:
-        self._q.remove(entry)
+        del self._q[entry.seq]
+        bucket = self._by_dataset[entry.op.dataset]
+        bucket.remove(entry)
+        if not bucket:
+            del self._by_dataset[entry.op.dataset]
 
 
 # -- per-op metrics ----------------------------------------------------------
@@ -460,5 +611,68 @@ class SchedStats:
                 f"  op {r.admit_seq:3d} {r.kind:5s} {r.dataset:20s} "
                 f"prio {r.priority} waited {r.queue_wait:7.3f} s, "
                 f"turnaround {r.turnaround:7.3f} s"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class ShardedSchedStats:
+    """Aggregate view over per-shard :class:`SchedStats`, exposed on
+    ``runtime.sched_stats`` when ``n_shards > 1``.  Each shard master
+    registers its own :class:`SchedStats` under its shard index; the
+    aggregate merges records by the globally unique ``admit_seq``."""
+
+    policy: str
+    n_shards: int
+    shards: Dict[int, SchedStats] = field(default_factory=dict)
+
+    @property
+    def ops(self) -> List[OpSchedRecord]:
+        merged: Dict[int, OpSchedRecord] = {}
+        for shard in sorted(self.shards):
+            merged.update(self.shards[shard].records)
+        return [merged[k] for k in sorted(merged)]
+
+    def completed_ops(self) -> List[OpSchedRecord]:
+        return [r for r in self.ops if r.completed is not None]
+
+    def turnaround_spread(self) -> float:
+        """max - min turnaround over completed ops, across all shards:
+        the cross-shard fairness figure of merit."""
+        ts = [r.turnaround for r in self.completed_ops()]
+        return max(ts) - min(ts) if ts else 0.0
+
+    def mean_turnaround(self) -> float:
+        ts = [r.turnaround for r in self.completed_ops()]
+        return sum(ts) / len(ts) if ts else 0.0
+
+    @property
+    def queue_peak(self) -> int:
+        """Deepest single-shard queue seen (per-shard backlogs are
+        independent; the sum would double-count the sharding win)."""
+        peaks = [s.queue_peak for s in self.shards.values()]
+        return max(peaks) if peaks else 0
+
+    @property
+    def in_flight_peak(self) -> int:
+        """Deepest single-shard in-flight set (the per-shard
+        ``max_in_flight`` budget is what it is bounded by)."""
+        peaks = [s.in_flight_peak for s in self.shards.values()]
+        return max(peaks) if peaks else 0
+
+    def summary(self) -> str:
+        done = self.completed_ops()
+        lines = [
+            f"scheduler ({self.policy}, {self.n_shards} shards): "
+            f"{len(done)} op(s) served, "
+            f"queue peak {self.queue_peak}/shard, "
+            f"in-flight peak {self.in_flight_peak}/shard"
+        ]
+        for shard in sorted(self.shards):
+            s = self.shards[shard]
+            lines.append(
+                f"  shard {shard}: {len(s.completed_ops())} op(s), "
+                f"queue peak {s.queue_peak}, "
+                f"in-flight peak {s.in_flight_peak}"
             )
         return "\n".join(lines)

@@ -48,11 +48,16 @@ Fault mode (``config.faults`` set -- see :mod:`repro.faults`):
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.core.plan import ServerPlan, SubchunkPlan, build_server_plan
+from repro.core.plan import (
+    ServerPlan,
+    SubchunkPlan,
+    build_server_plan,
+    op_participants,
+)
 from repro.core.protocol import (
     ArraySpec,
     CollectiveOp,
@@ -99,6 +104,10 @@ class PandaServer:
         #: the master's gather as a failure detector.
         self._reliable = runtime.injector is not None
         self._src = f"server{server_index}"
+        #: scheduled mode: this server's admission-shard index (it is a
+        #: shard master), or None.  Single-master mode: the master is
+        #: shard 0.  Set by :meth:`_run_scheduled`.
+        self._shard: Optional[int] = None
         # per-op accounting for the trace/results
         self.bytes_written = 0
         self.bytes_read = 0
@@ -467,16 +476,19 @@ class PandaServer:
         return moved
 
     def _serve_recover(self, rmsg: RecoverMsg):
-        """Non-master: execute a mid-op recovery assignment handed over
-        by the master's failure detector, then report it separately
-        (``recovery=True``) so the master's two gathers stay apart."""
+        """Survivor: execute a mid-op recovery assignment handed over
+        by a failure-detecting master, then report it separately
+        (``recovery=True``) so the issuer's two gathers stay apart.
+        The report goes to ``rmsg.reply_to`` when set -- sharded
+        admission, where any shard master may run the recovery -- and
+        to the master server otherwise."""
         yield self.comm.handle_ev()
         moved = yield from self._execute_assignment(rmsg.op, rmsg.assignment)
         done = ServerDone(rmsg.op.op_id, self.server_index, moved,
                           recovery=True)
-        yield from self.comm.send(
-            self.runtime.master_server_rank, Tags.SERVER_DONE, done
-        )
+        reply_to = (rmsg.reply_to if rmsg.reply_to >= 0
+                    else self.runtime.master_server_rank)
+        yield from self.comm.send(reply_to, Tags.SERVER_DONE, done)
 
     def _fault_directives(self, op: CollectiveOp):
         """Master-only: degraded-mode directives for an op that starts
@@ -573,9 +585,10 @@ class PandaServer:
         return pending
 
     def _recover_midop(self, op: CollectiveOp, k: int):
-        """Master-only: re-partition crashed server ``k``'s plan over
-        the survivors, hand out the shares, execute its own, and wait
-        for the survivors' recovery completions."""
+        """Failure-detecting master (the single master, or any shard
+        master in sharded mode): re-partition crashed server ``k``'s
+        plan over the survivors, hand out the shares, execute its own,
+        and wait for the survivors' recovery completions."""
         rt = self.runtime
         injector = rt.injector
         survivors = rt.live_servers()
@@ -593,7 +606,7 @@ class PandaServer:
                 continue
             yield from self.comm.send(
                 rt.server_rank(a.survivor_index), Tags.RECOVER,
-                RecoverMsg(op, a),
+                RecoverMsg(op, a, reply_to=self.rank),
             )
             waiting.add(a.survivor_index)
         for a in assignments:
@@ -616,7 +629,15 @@ class PandaServer:
                     f"server {k}'s portion of {op.dataset!r}; double faults "
                     "during recovery are not survivable"
                 )
-            # crashes elsewhere are left for the outer gather to handle
+            # Two shard masters recovering concurrently may each hold a
+            # recovery assignment addressed to the other; serve any such
+            # RECOVER now, or both gathers spin until their peer's is
+            # done that never comes.  With a single master no one else
+            # sends RECOVER, so this drain is a no-op there.
+            rmsg = self.comm.try_recv(tag=Tags.RECOVER)
+            if rmsg is not None:
+                yield from self._serve_recover(rmsg.payload)
+            # other crashes are left for the outer gather to handle
         return assignments
 
     # -- scheduled mode (config.scheduler set) -------------------------------
@@ -629,30 +650,56 @@ class PandaServer:
     # observability layer pairs phase marks per (source, op_id).
 
     def _run_scheduled(self):
-        """Multi-tenant server loop: admission control at the master,
-        policy-driven sub-chunk interleaving everywhere.
+        """Multi-tenant server loop: admission control at the shard
+        master(s), policy-driven sub-chunk interleaving everywhere.
 
         The loop alternates three activities, never blocking while any
         admitted op has work: (1) drain control messages (REQUEST /
         SCHED / SERVER_DONE / RECOVER / SHUTDOWN) without consuming
-        simulated time; (2) master only: admit eligible queued ops into
-        free in-flight slots; (3) execute exactly one sub-chunk of the
-        op the policy picks.  Only when none of these make progress does
-        it block on the next control message (with the failure-detector
-        timeout in fault mode)."""
+        simulated time; (2) shard masters only: admit eligible queued
+        ops into free in-flight slots; (3) execute exactly one sub-chunk
+        of the op the policy picks.  Only when none of these make
+        progress does it block on the next control message (with the
+        failure-detector timeout in fault mode).
+
+        With ``n_shards > 1`` the first ``n_shards`` servers each run
+        the admission side for their consistent-hash slice of the
+        datasets (see :class:`~repro.core.scheduler.ShardMap`); every
+        server, shard master or not, executes whatever mix of shards'
+        ops lands on it.  ``n_shards == 1`` is the historical
+        single-master loop, bit-for-bit."""
         rt = self.runtime
         cfg = rt.config.scheduler
+        n_shards = cfg.n_shards
+        sharded = n_shards > 1
+        self._shard = self.server_index if self.server_index < n_shards \
+            else None
         sched = ServerScheduler(cfg, self.server_index)
-        listen = {Tags.REQUEST, Tags.SERVER_DONE, Tags.SHUTDOWN} \
-            if self.is_master else {Tags.SCHED, Tags.SHUTDOWN}
-        if self._reliable and not self.is_master:
-            listen.add(Tags.RECOVER)
+        if self._shard is not None:
+            listen = {Tags.REQUEST, Tags.SERVER_DONE, Tags.SHUTDOWN}
+            if sharded:
+                # shard masters also execute peer shards' ops and (fault
+                # mode) serve peer owners' mid-op recovery assignments
+                listen |= {Tags.SCHED}
+                if self._reliable:
+                    listen |= {Tags.RECOVER}
+        else:
+            listen = {Tags.SCHED, Tags.SHUTDOWN}
+            if self._reliable:
+                listen.add(Tags.RECOVER)
         queue = None
         gate = None
-        if self.is_master:
-            queue = AdmissionQueue(cfg.queue_limit, sched.policy)
+        if self._shard is not None:
+            # interleaved numbering keeps admit_seq globally unique with
+            # zero coordination and self-describing: the issuing shard
+            # is admit_seq % n_shards
+            queue = AdmissionQueue(cfg.queue_limit, sched.policy,
+                                   seq_start=self._shard, seq_step=n_shards)
             self._sched_stats = SchedStats(policy=cfg.policy)
-            rt.sched_stats = self._sched_stats
+            if sharded:
+                rt.sched_stats.shards[self._shard] = self._sched_stats
+            else:
+                rt.sched_stats = self._sched_stats
 
             def gate(m, _queue=queue):
                 # backpressure: while the admission queue is full,
@@ -660,10 +707,16 @@ class PandaServer:
                 # (and the memory it pins) never exceeds its bound
                 return m.tag != Tags.REQUEST or not _queue.full
 
-        #: master only: admit_seq -> _OpCompletion for in-flight ops
+        #: shard master only: admit_seq -> _OpCompletion for in-flight
+        #: ops this shard admitted
         self._completions: Dict[int, _OpCompletion] = {}
+        abort_orphans = sharded and self._reliable
         shutdown = False
         while True:
+            if abort_orphans and rt.crashed_servers:
+                # before draining (possibly re-issued) SCHEDs: drop
+                # active work admitted by a now-crashed shard master
+                self._sched_abort_orphans(sched)
             progressed = False
             while True:
                 msg = self.comm.try_recv(tags=listen, match=gate)
@@ -671,7 +724,7 @@ class PandaServer:
                     break
                 progressed = True
                 shutdown |= yield from self._sched_control(msg, sched, queue)
-            if self.is_master:
+            if queue is not None:
                 progressed |= yield from self._sched_admit(sched, queue)
             p = sched.pick()
             if p is not None:
@@ -682,7 +735,8 @@ class PandaServer:
             if shutdown and sched.idle and not self._completions \
                     and (queue is None or not len(queue)):
                 return
-            if self._reliable and self.is_master and self._completions:
+            if self._reliable and self._shard is not None \
+                    and self._completions:
                 msg = yield from self.comm.recv(
                     tags=listen, match=gate,
                     timeout=rt.injector.spec.detect_timeout,
@@ -709,17 +763,20 @@ class PandaServer:
                 # recovery completions are consumed inside
                 # _recover_midop's own matched gather; one here is a bug
                 raise RuntimeError(
-                    f"master: stray recovery completion from server "
-                    f"{done.server_index}"
+                    f"server {self.server_index}: stray recovery completion "
+                    f"from server {done.server_index}"
                 )
             yield from self._sched_credit(done.admit_seq, done.server_index,
                                           done.bytes_moved)
-        else:  # RECOVER (non-master, fault mode)
+        else:  # RECOVER (fault mode; sent by a failure-detecting owner)
             yield from self._serve_recover(msg.payload)
         return False
 
     def _sched_enqueue(self, op: CollectiveOp, queue: AdmissionQueue) -> None:
-        """Master: one REQUEST enters the bounded admission queue."""
+        """Shard master: one REQUEST enters the bounded admission
+        queue.  Sharded mode tags the trace records with the shard, so
+        the obs layer can break queue depth and admission latency out
+        per shard; single-master records stay byte-identical."""
         rt = self.runtime
         est = estimate_op(op, rt.n_io, self.comm.spec, rt.config)
         now = self.comm.sim.now
@@ -732,15 +789,17 @@ class PandaServer:
         )
         stats.queue_peak = max(stats.queue_peak, queue.peak)
         if rt.trace is not None:
+            extra = {"shard": self._shard} if rt.n_shards > 1 else {}
             rt.trace.emit(now, "sched", "sched_enqueue", admit_seq=entry.seq,
                           op_id=op.op_id, dataset=op.dataset, kind=op.kind,
-                          qlen=len(queue))
+                          qlen=len(queue), **extra)
 
     def _sched_admit(self, sched: ServerScheduler, queue: AdmissionQueue):
-        """Master: admit eligible queued ops while in-flight slots are
-        free.  Returns True when anything was admitted."""
+        """Shard master: admit eligible queued ops while in-flight
+        slots are free.  Returns True when anything was admitted."""
         rt = self.runtime
         cfg = rt.config.scheduler
+        sharded = rt.n_shards > 1
         admitted = False
         while len(self._completions) < cfg.max_in_flight:
             in_flight = [c.sched.op for c in self._completions.values()]
@@ -758,18 +817,27 @@ class PandaServer:
                     self._fault_directives(op)
             sop = SchedOp(op=op, admit_seq=entry.seq, priority=op.priority,
                           estimate=entry.estimate, skip=skip,
-                          recoveries=recoveries)
+                          recoveries=recoveries, shard=self._shard)
             # a live server participates unless it is skip-listed with
             # no recovery assignment routed to it: a fully skipped
             # server has nothing to execute and must not be contacted
             # (it may be a repaired node about to be re-crashed by the
             # injector, and its stale on-disk portion is superseded by
-            # the survivors' recovery files).  The master always
-            # participates: it runs the completion bookkeeping.
+            # the survivors' recovery files).  The single master always
+            # participates: it runs the completion bookkeeping.  Shard
+            # masters join only when the plan gives them work, so an op
+            # whose chunks live elsewhere never serializes behind its
+            # owner's disk (and creates no empty files there).
             assigned = {a.survivor_index for a in recoveries}
-            participants = [i for i in rt.live_servers()
-                            if i == self.server_index or i not in skip
-                            or i in assigned]
+            if sharded:
+                workers = set(op_participants(op, rt.n_io))
+                participants = [i for i in rt.live_servers()
+                                if (i in workers and i not in skip)
+                                or i in assigned]
+            else:
+                participants = [i for i in rt.live_servers()
+                                if i == self.server_index or i not in skip
+                                or i in assigned]
             comp = _OpCompletion(sop, participants, pending_reloc)
             self._completions[entry.seq] = comp
             stats = self._sched_stats
@@ -778,18 +846,24 @@ class PandaServer:
             stats.in_flight_peak = max(stats.in_flight_peak,
                                        len(self._completions))
             if rt.trace is not None:
+                extra = {"shard": self._shard} if sharded else {}
                 rt.trace.emit(rec.admitted, "sched", "sched_admit",
                               admit_seq=entry.seq, op_id=op.op_id,
                               dataset=op.dataset, wait=rec.queue_wait,
-                              in_flight=len(self._completions))
-            if self._reliable:
+                              in_flight=len(self._completions), **extra)
+            if sharded or self._reliable:
                 targets = [rt.server_rank(i) for i in participants
                            if i != self.server_index]
                 yield from self.comm.bcast_send(targets, Tags.SCHED, sop)
             else:
                 yield from self.comm.bcast_send(rt.server_ranks, Tags.SCHED,
                                                 sop)
-            yield from self._sched_start(sop, sched)
+            if self.server_index in participants:
+                yield from self._sched_start(sop, sched)
+            else:
+                # this owner has no execution share; with an empty
+                # participant set the op may already be completable
+                yield from self._sched_maybe_complete(entry.seq, comp)
             admitted = True
         return admitted
 
@@ -848,34 +922,38 @@ class PandaServer:
                 yield from self._sched_finish(p, sched)
 
     def _sched_finish(self, p: OpProgress, sched: ServerScheduler):
-        """This server's share of one op is complete: report it."""
+        """This server's share of one op is complete: report it to the
+        shard master that admitted it (locally, when that is us)."""
         sched.finish(p)
         self._mark("srv_io_done", op_id=p.sched.admit_seq, moved=p.moved)
-        if self.is_master:
+        if self._shard is not None and p.sched.shard == self._shard:
             yield from self._sched_credit(p.sched.admit_seq,
                                           self.server_index, p.moved)
         else:
             done = ServerDone(p.op.op_id, self.server_index, p.moved,
                               admit_seq=p.sched.admit_seq)
-            yield from self.comm.send(self.runtime.master_server_rank,
-                                      Tags.SERVER_DONE, done)
+            yield from self.comm.send(
+                self.runtime.server_rank(p.sched.shard),
+                Tags.SERVER_DONE, done,
+            )
             self._mark("srv_op_done", op_id=p.sched.admit_seq)
 
     def _sched_credit(self, admit_seq: int, server_index: int, moved: int):
-        """Master: record one server's completion of an admitted op."""
+        """Shard master: record one server's completion of an op this
+        shard admitted."""
         comp = self._completions.get(admit_seq)
         if comp is None:
             raise RuntimeError(
-                f"master: completion for unknown scheduled op {admit_seq} "
-                f"from server {server_index}"
+                f"server {self.server_index}: completion for unknown "
+                f"scheduled op {admit_seq} from server {server_index}"
             )
         comp.done.add(server_index)
         comp.moved += moved
         yield from self._sched_maybe_complete(admit_seq, comp)
 
     def _sched_maybe_complete(self, admit_seq: int, comp: "_OpCompletion"):
-        """Master: when the last expected server has reported, commit
-        the op and notify its master client."""
+        """Shard master: when the last expected server has reported,
+        commit the op and notify its master client."""
         if comp.expected - comp.done:
             return
         rt = self.runtime
@@ -893,17 +971,44 @@ class PandaServer:
         rec.completed = now
         rec.moved = comp.moved
         if rt.trace is not None:
+            extra = {"shard": self._shard} if rt.n_shards > 1 else {}
             rt.trace.emit(now, "sched", "sched_done", admit_seq=admit_seq,
                           op_id=op.op_id, dataset=op.dataset, moved=comp.moved,
                           service=now - rec.admitted,
-                          turnaround=rec.turnaround)
+                          turnaround=rec.turnaround, **extra)
         self._mark("srv_op_done", op_id=admit_seq)
 
+    def _sched_abort_orphans(self, sched: ServerScheduler) -> None:
+        """Sharded fault mode: drop active work admitted by a shard
+        master that has since crashed.  The op's master client detects
+        the crash after ``detect_timeout`` and re-sends its REQUEST to
+        the dataset's next live owner on the ring, which re-admits and
+        re-broadcasts the op from scratch -- a partially executed
+        orphan write is harmless, since the re-run truncates and
+        rewrites the same deterministic bytes.  But the orphan itself
+        must stop: once the re-run completes, the op's clients move on,
+        and the orphan's remaining fetches would wait on ranks that no
+        longer serve this op.  Running at every loop iteration -- at
+        sub-chunk boundaries, *before* any newly arrived SCHED is
+        drained -- guarantees the orphan is gone before the re-issued
+        op can start on this server."""
+        rt = self.runtime
+        dead = [p for p in sched.active.values()
+                if p.sched.shard in rt.crashed_servers
+                and p.sched.shard != self._shard]
+        for p in dead:
+            if p.fh is not None:
+                p.fh.close()
+                p.fh = None
+            sched.finish(p)
+            self._mark("srv_op_aborted", op_id=p.sched.admit_seq,
+                       shard=p.sched.shard)
+
     def _sched_detect(self, sched: ServerScheduler):
-        """Master, fault mode: the blocking receive timed out.  Scan the
-        (perfect) failure detector for crashes affecting any in-flight
-        op and run the same mid-op write recovery the unscheduled
-        gather performs."""
+        """Shard master, fault mode: the blocking receive timed out.
+        Scan the (perfect) failure detector for crashes affecting any
+        in-flight op this shard admitted and run the same mid-op write
+        recovery the unscheduled gather performs."""
         rt = self.runtime
         for admit_seq in sorted(self._completions):
             comp = self._completions.get(admit_seq)

@@ -54,6 +54,8 @@ DURATION_BUCKETS = (
 SIZE_BUCKETS = (
     512, 4096, 32768, 65536, 262144, 1048576, 4194304, 16777216,
 )
+#: default histogram buckets for small counts (queue depths etc.)
+COUNT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 
 
 class Counter:
@@ -341,6 +343,7 @@ _TRACE_HISTOGRAMS = (
     ("net_xfer", "panda_net_xfer_seconds", "service", DURATION_BUCKETS),
     ("srv_gather", "panda_gather_seconds", "service", DURATION_BUCKETS),
     ("srv_scatter", "panda_scatter_seconds", "service", DURATION_BUCKETS),
+    ("sched_enqueue", "panda_sched_queue_depth", "qlen", COUNT_BUCKETS),
     ("sched_admit", "panda_sched_queue_wait_seconds", "wait",
      DURATION_BUCKETS),
     ("sched_done", "panda_sched_service_seconds", "service",
@@ -353,7 +356,14 @@ _TRACE_HISTOGRAMS = (
 def observe_trace(trace: Trace, registry: Optional[MetricsRegistry] = None,
                   ) -> MetricsRegistry:
     """Back-fill histograms (and per-kind counters) from a finished
-    trace."""
+    trace.
+
+    Scheduler records from a sharded run (``SchedulerConfig.n_shards >
+    1``) carry their admitting shard; it becomes a ``shard`` label so
+    queue depth, admission latency and service time break out per shard
+    master.  Single-master traces carry no shard key and keep their
+    historical label set.
+    """
     reg = registry if registry is not None else MetricsRegistry()
     rules: Dict[str, list] = {}
     for kind, name, key, buckets in _TRACE_HISTOGRAMS:
@@ -363,10 +373,13 @@ def observe_trace(trace: Trace, registry: Optional[MetricsRegistry] = None,
             "panda_trace_records_total", "trace records by kind",
             kind=rec.kind,
         ).inc()
+        labels = {"op": rec.kind}
+        if "shard" in rec.detail:
+            labels["shard"] = str(rec.detail["shard"])
         for name, key, buckets in rules.get(rec.kind, ()):
             value = rec.detail.get(key)
             if value is not None:
                 reg.histogram(
-                    name, "", buckets=buckets, op=rec.kind,
+                    name, "", buckets=buckets, **labels,
                 ).observe(value)
     return reg

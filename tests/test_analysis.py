@@ -324,6 +324,62 @@ class TestProtocolChecker:
         assert recv_tags == {"PING", "PONG", "ORPHAN_RECV"}
         assert send_tags == {"ORPHAN_SEND", "DEAD"}
 
+    def test_tag_set_union_growth_resolves(self):
+        # The sharded server loop builds per-role listen sets with set
+        # union (listen |= {...}, listen.update(...), base | {...}).
+        # Before the checker learned these forms it kept the stale
+        # pre-union value, so a tag received only via |= looked
+        # unreceived (false PL101 on its send site) and the shard-id
+        # dimension of SCHED/OP_DONE matching reported phantom orphans.
+        peers = textwrap.dedent("""
+            from proto import Tags
+
+            def owner(comm, sharded, reliable):
+                listen = {Tags.PING}
+                if sharded:
+                    listen |= {Tags.PONG}
+                    if reliable:
+                        listen.update({Tags.ORPHAN_RECV})
+                msg = yield from comm.recv(tags=listen)
+                return msg
+
+            def peer(comm):
+                extra = {Tags.ORPHAN_RECV} | {Tags.DEAD}
+                yield from comm.send(0, Tags.PING, None)
+                yield from comm.send(0, Tags.PONG, None)
+                yield from comm.send(0, Tags.ORPHAN_RECV, None)
+                other = yield from comm.recv(tags=extra)
+                yield from comm.send(0, Tags.DEAD, other)
+        """)
+        report = check_sources(FIXTURE_PROTOCOL, "proto.py",
+                               {"peers.py": peers})
+        recv_tags = {t for r in report.recvs for t in r.tags}
+        assert {"PING", "PONG", "ORPHAN_RECV", "DEAD"} <= recv_tags
+        # with the union forms resolved, PING/PONG/ORPHAN_RECV/DEAD all
+        # pair up; only the fixture's never-used ORPHAN_SEND remains
+        assert [f.rule for f in report.findings] == ["PL103"]
+        assert "ORPHAN_SEND" in report.findings[0].message
+
+    def test_unresolvable_mutation_drops_the_variable(self):
+        # A mutation the dataflow cannot follow must invalidate the
+        # variable, not leave it at a stale value: here ``listen`` is
+        # |='d with a function call, so the later recv must be skipped
+        # (unresolvable) rather than recorded as {PING} -- recording it
+        # would be a false PL102 on PING (nothing sends it).
+        peers = textwrap.dedent("""
+            from proto import Tags
+
+            def shifty(comm, extra_tags):
+                listen = {Tags.PING}
+                listen |= extra_tags()
+                msg = yield from comm.recv(tags=listen)
+                return msg
+        """)
+        report = check_sources(FIXTURE_PROTOCOL, "proto.py",
+                               {"peers.py": peers})
+        assert report.recvs == []
+        assert not any(f.rule in ("PL101", "PL102") for f in report.findings)
+
     def test_real_tree_is_clean_with_expected_guard(self):
         report = check_tree(REPO_ROOT)
         assert report.findings == []

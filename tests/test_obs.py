@@ -235,3 +235,55 @@ def test_counter_rejects_decrease():
     assert reg.counter("x_total") is c
     with pytest.raises(TypeError):
         reg._child(type(TimeSeries()), "x_total", "", {})
+
+
+def test_sharded_sched_metrics_carry_shard_label():
+    """A sharded run's scheduler records carry their admitting shard,
+    and :func:`observe_trace` turns it into a ``shard`` label, so queue
+    depth and admission latency break out per shard master.  (Single-
+    master traces have no shard key; their label sets are covered by
+    the render tests above.)"""
+    import numpy as np
+
+    from repro.core import (
+        Array,
+        ArrayGroup,
+        ArrayLayout,
+        BLOCK,
+        PandaConfig,
+        PandaRuntime,
+        SchedulerConfig,
+    )
+    from repro.core.scheduler import ShardMap
+
+    n_groups, n_shards = 4, 2
+    assignments = []
+    for g in range(n_groups):
+        mem = ArrayLayout(f"m{g}", (1,))
+        arr = Array(f"g{g}", (32,), np.float64, mem, [BLOCK])
+        ag = ArrayGroup(f"ag{g}")
+        ag.include(arr)
+
+        def app(ctx, ag=ag, arr=arr, name=f"g{g}"):
+            ctx.bind(arr)
+            yield from ag.write(ctx, name)
+
+        assignments.append((app, (g,)))
+    rt = PandaRuntime(
+        n_compute=n_groups, n_io=2,
+        config=PandaConfig(scheduler=SchedulerConfig(
+            policy="fifo", n_shards=n_shards)),
+        trace=True,
+    )
+    rt.run_partitioned(assignments)
+    reg = observe_trace(rt.trace)
+    ring = ShardMap(n_shards)
+    owners = {str(ring.owner(f"g{g}")) for g in range(n_groups)}
+    assert len(owners) == n_shards, "scenario must load every shard"
+    for shard in owners:
+        depth = reg.histogram("panda_sched_queue_depth",
+                              op="sched_enqueue", shard=shard)
+        wait = reg.histogram("panda_sched_queue_wait_seconds",
+                             op="sched_admit", shard=shard)
+        assert depth.count > 0
+        assert wait.count > 0
