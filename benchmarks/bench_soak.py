@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""Soak + failover drill: sustained multi-tenant load, periodic crashes,
+operational SLOs.
+
+Everything is *simulated* time and therefore deterministic: ``--check``
+demands an exact match against the committed ``BENCH_soak.json`` for
+every point it ran, plus the drill's operational SLOs against the
+committed full run:
+
+- **integrity** -- zero byte mismatches over every (tenant, cycle)
+  read-back, at 1 and 4 shards;
+- **admission-wait regression** -- the post-drill cycle's mean write
+  admission wait within 2x the crash-free baseline cycle's;
+- **recovery time** -- every crash cycle's last write completes within
+  the recovery budget of the crash;
+- **SLO enforcement** -- on the contended comparison workload, the
+  ``slo`` policy keeps the under-budget (small) tenants' p99 turnaround
+  within budget while ``fifo`` violates it.
+
+The full drill is one simulated hour per shard count: 200 tenants,
+8 I/O nodes, 12 cycles of 300 s, one mid-storm crash in each of the 10
+interior cycles (alternating shard masters and data nodes -- see
+:mod:`repro.bench.soak`).
+
+Usage::
+
+    python benchmarks/bench_soak.py            # full drill, print
+    python benchmarks/bench_soak.py --update   # rewrite BENCH_soak.json
+    python benchmarks/bench_soak.py --smoke    # quick subset
+    python benchmarks/bench_soak.py --smoke --check   # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+RESULTS_PATH = REPO_ROOT / "BENCH_soak.json"
+
+FULL_TENANTS = 200
+FULL_CYCLES = 12
+FULL_SPAN = 300.0
+SMOKE_TENANTS = 24
+SMOKE_CYCLES = 4
+SMOKE_SPAN = 60.0
+N_IO = 8
+SHARD_COUNTS = (1, 4)
+#: post-drill mean admission wait must stay within this factor of the
+#: crash-free baseline cycle's.
+WAIT_REGRESSION_LIMIT = 2.0
+
+
+def run_drill(n_shards: int, smoke: bool) -> dict:
+    from repro.bench.soak import run_soak_drill
+
+    n_tenants = SMOKE_TENANTS if smoke else FULL_TENANTS
+    cycles = SMOKE_CYCLES if smoke else FULL_CYCLES
+    span = SMOKE_SPAN if smoke else FULL_SPAN
+    out = run_soak_drill(n_tenants=n_tenants, n_io=N_IO,
+                         n_shards=n_shards, cycles=cycles, cycle_span=span)
+    s = out["summary"]
+    print(f"drill shards={n_shards}  tenants={n_tenants:3d}  "
+          f"{s['sim_hours']:.3f} sim-h  {s['crashes']:2d} crash(es)  "
+          f"integrity {s['integrity_checks'] - s['integrity_failures']}"
+          f"/{s['integrity_checks']}  "
+          f"wait x{s['wait_regression']:.2f}  "
+          f"recovery max {s['recovery_max']:.3f} s")
+    return out
+
+
+def run_comparison() -> dict:
+    from repro.bench.soak import run_slo_comparison
+
+    out = run_slo_comparison()
+    print(f"slo-vs-fifo: budget {out['budget']:.1f} s  "
+          f"slo small p99 {out['slo']['small_p99']:.3f} s "
+          f"({out['slo']['demoted']} demoted, {out['slo']['shed']} shed)  "
+          f"fifo small p99 {out['fifo']['small_p99']:.3f} s")
+    return out
+
+
+def run_sweep(smoke: bool) -> dict:
+    key = "smoke_drills" if smoke else "drills"
+    drills = {str(k): run_drill(k, smoke) for k in SHARD_COUNTS}
+    return {key: drills, "comparison": run_comparison()}
+
+
+def _check_points(fresh: dict, committed: dict, failures: list) -> None:
+    """Exact match for every point this invocation actually ran."""
+    for key, value in fresh.items():
+        want = committed.get(key)
+        if want is None:
+            failures.append(f"{key}: no committed point (run --update)")
+        elif want != value:
+            failures.append(f"{key}: differs from committed "
+                            f"(rerun --update if intentional)")
+
+
+def _check_properties(committed: dict, failures: list) -> None:
+    """The operational SLOs, against the committed full drill."""
+    from repro.bench.soak import RECOVERY_BUDGET
+
+    drills = committed.get("drills", {})
+    if not drills:
+        failures.append("no committed full drills (run --update "
+                        "without --smoke)")
+    for shards, out in drills.items():
+        s = out["summary"]
+        where = f"drills[{shards} shard(s)]"
+        if s["integrity_failures"]:
+            failures.append(f"{where}: {s['integrity_failures']} byte "
+                            "mismatch(es) on read-back")
+        if s["wait_regression"] > WAIT_REGRESSION_LIMIT:
+            failures.append(
+                f"{where}: post-drill admission wait regressed "
+                f"x{s['wait_regression']} > x{WAIT_REGRESSION_LIMIT}")
+        if s["recovery_max"] > RECOVERY_BUDGET:
+            failures.append(f"{where}: recovery took {s['recovery_max']} s "
+                            f"> budget {RECOVERY_BUDGET} s")
+        if s["sim_hours"] < 1.0 or s["crashes"] < 10:
+            failures.append(f"{where}: drill too small "
+                            f"({s['sim_hours']} sim-h, {s['crashes']} "
+                            "crash(es)); the SLOs need a real soak")
+    cmp_ = committed.get("comparison")
+    if cmp_ is None:
+        failures.append("no committed comparison (run --update)")
+    else:
+        budget = cmp_["budget"]
+        if cmp_["slo"]["small_p99"] > budget:
+            failures.append(
+                f"comparison: slo policy broke the small tenants' budget "
+                f"({cmp_['slo']['small_p99']} s > {budget} s)")
+        if cmp_["fifo"]["small_p99"] <= budget:
+            failures.append(
+                "comparison: fifo held the budget "
+                f"({cmp_['fifo']['small_p99']} s <= {budget} s) -- the "
+                "workload no longer demonstrates enforcement")
+
+
+def check(fresh: dict, committed: dict) -> int:
+    failures: list = []
+    _check_points(fresh, committed, failures)
+    _check_properties(committed, failures)
+    for f in failures:
+        print("FAIL:", f, file=sys.stderr)
+    if not failures:
+        print("soak check OK (points bit-identical to committed; "
+              "integrity clean; wait regression and recovery within "
+              "budget; slo holds the budget fifo violates)")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true",
+                    help=f"run only the {SMOKE_TENANTS}-tenant drills")
+    ap.add_argument("--check", action="store_true",
+                    help="compare against committed BENCH_soak.json")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite BENCH_soak.json with this run")
+    ap.add_argument("--out", metavar="PATH",
+                    help="also write this run's points as JSON (CI artifact)")
+    args = ap.parse_args(argv)
+
+    fresh = run_sweep(smoke=args.smoke)
+
+    if args.out:
+        pathlib.Path(args.out).write_text(json.dumps(fresh, indent=1) + "\n")
+        print(f"wrote {args.out}")
+
+    committed = {}
+    if RESULTS_PATH.exists():
+        committed = json.loads(RESULTS_PATH.read_text())
+
+    if args.check:
+        return check(fresh, committed)
+
+    if args.update:
+        doc = {
+            "description": (
+                "Simulated soak + failover drill from "
+                "benchmarks/bench_soak.py: 200 single-rank tenants "
+                "rewriting and reading back private 8 KB datasets over "
+                "12 cycles of 300 s (one simulated hour) on 8 I/O "
+                "nodes, with one mid-storm server crash in each of the "
+                "10 interior cycles (alternating shard masters and "
+                "data nodes), at 1 and 4 admission shards; plus the "
+                "slo-vs-fifo enforcement comparison on a contended "
+                "heavy/small workload.  All values are simulated "
+                "seconds and exactly reproducible; CI runs "
+                "--smoke --check against them."
+            ),
+            **{k: v for k, v in committed.items() if k != "description"},
+            **fresh,
+        }
+        RESULTS_PATH.write_text(json.dumps(doc, indent=1) + "\n")
+        print(f"wrote {RESULTS_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -214,6 +214,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
         observe_trace(result.trace, registry)
         with open(args.metrics, "w") as f:
             f.write(registry.render())
+            if result.runtime.slo_trackers:
+                from repro.obs.slo import render_slo
+
+                f.write(render_slo(result.runtime.slo_trackers))
         print(f"wrote {args.metrics}")
     return 0
 
@@ -310,6 +314,42 @@ def cmd_sched(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_soak(args: argparse.Namespace) -> int:
+    """Soak + failover drill: one runtime through repeated load cycles
+    with a mid-storm server crash in each interior cycle, checking
+    byte-exact read-back and the admission-wait SLOs (see
+    :mod:`repro.bench.soak`; ``benchmarks/bench_soak.py`` runs the
+    committed full-hour version)."""
+    from repro.bench.soak import run_slo_comparison, run_soak_drill
+
+    out = run_soak_drill(
+        n_tenants=args.tenants, n_io=args.io, n_shards=args.shards,
+        cycles=args.cycles, cycle_span=args.span,
+    )
+    s = out["summary"]
+    for row in out["cycles_detail"]:
+        victim = (f"crashed server {row['crashed']}"
+                  if row["crashed"] >= 0 else "crash-free")
+        print(f"cycle {row['cycle']:2d}: {row['ops']:4d} op(s), "
+              f"{victim}, {row['recoveries']} recover(ies), "
+              f"write wait mean {row['write_wait_mean'] * 1e3:.3f} ms")
+    ok = s["integrity_failures"] == 0
+    print(f"{s['sim_hours']:.3f} simulated hour(s), {s['crashes']} "
+          f"crash(es): read-back {'byte-exact' if ok else 'CORRUPT'} "
+          f"({s['integrity_checks'] - s['integrity_failures']}"
+          f"/{s['integrity_checks']}), admission wait x"
+          f"{s['wait_regression']:.2f} vs baseline, recovery max "
+          f"{s['recovery_max']:.3f} s")
+    if args.compare:
+        cmp_ = run_slo_comparison()
+        print(f"slo-vs-fifo (budget {cmp_['budget']:.1f} s): slo small "
+              f"p99 {cmp_['slo']['small_p99']:.3f} s "
+              f"({cmp_['slo']['demoted']} demoted, "
+              f"{cmp_['slo']['shed']} shed); fifo small p99 "
+              f"{cmp_['fifo']['small_p99']:.3f} s")
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -393,7 +433,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sched.add_argument("--apps", type=int, default=4,
                          help="concurrent client groups (default 4)")
     p_sched.add_argument("--policy", default="all",
-                         choices=["fifo", "sjf", "fair", "all"])
+                         choices=["fifo", "sjf", "fair", "slo", "all"])
     p_sched.add_argument("--compute", type=int, default=8)
     p_sched.add_argument("--io", type=int, default=4)
     p_sched.add_argument("--size-mb", type=int, default=16,
@@ -410,6 +450,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also run the unscheduled head-of-line "
                               "baseline")
     p_sched.set_defaults(func=cmd_sched)
+
+    p_soak = sub.add_parser(
+        "soak",
+        help="soak + failover drill: repeated load cycles with "
+             "mid-storm crashes, byte-exact read-back and SLO checks",
+    )
+    p_soak.add_argument("--tenants", type=int, default=48,
+                        help="single-rank tenants per cycle (default 48)")
+    p_soak.add_argument("--io", type=int, default=8,
+                        help="I/O nodes (default 8)")
+    p_soak.add_argument("--shards", type=int, default=4,
+                        help="admission shard masters (default 4)")
+    p_soak.add_argument("--cycles", type=int, default=6,
+                        help="load cycles; the interior ones each crash "
+                             "a server (default 6)")
+    p_soak.add_argument("--span", type=float, default=120.0,
+                        help="simulated seconds per cycle (default 120)")
+    p_soak.add_argument("--compare", action="store_true",
+                        help="also run the slo-vs-fifo enforcement "
+                             "comparison workload")
+    p_soak.set_defaults(func=cmd_soak)
 
     return parser
 

@@ -32,10 +32,14 @@ from repro.core.protocol import (
     ArraySpec,
     CollectiveOp,
     FetchRequest,
+    OpRejected,
+    OpRejection,
     PieceAck,
     PieceData,
     Tags,
 )
+from repro.core.scheduler import NoLiveShardError
+from repro.faults import FaultRecoveryError
 from repro.mpi.comm import Communicator
 from repro.mpi.datatypes import DataBlock
 from repro.schema.regions import Region, runs_within
@@ -205,14 +209,22 @@ class PandaClient:
                 self._op_owner_rank, Tags.REQUEST, op
             )
         if kind == "write":
-            yield from self._serve_write(op)
+            rejection = yield from self._serve_write(op)
         else:
-            yield from self._serve_read(op)
-        # master tells the others in its group; everyone leaves
+            rejection = yield from self._serve_read(op)
+        # master tells the others in its group; everyone leaves.  A
+        # rejection rides the same CLIENT_DONE broadcast, so every rank
+        # of the group raises OpRejected at the same collective point.
         if self.is_master:
             yield from self.comm.bcast_send(
-                self.group_ranks, Tags.CLIENT_DONE, op.op_id
+                self.group_ranks, Tags.CLIENT_DONE,
+                rejection if rejection is not None else op.op_id,
             )
+        if rejection is not None:
+            self._mark("cli_op_rejected", op_id=op.op_id,
+                       dataset=op.dataset, tenant=rejection.tenant)
+            self.runtime.oplog.reject(op)
+            raise OpRejected(rejection)
         self._mark("cli_op_done", op_id=op.op_id, kind=kind)
         self.runtime.oplog.leave(self.rank, op, self.comm.sim.now)
         return op.op_id
@@ -237,7 +249,7 @@ class PandaClient:
         def pred(m) -> bool:
             if m.tag == data_tag:
                 return True
-            return (m.tag == Tags.OP_DONE
+            return (m.tag in (Tags.OP_DONE, Tags.OP_REJECTED)
                     and m.src == self._op_owner_rank
                     and m.payload.op_id == op.op_id)
         return pred
@@ -251,7 +263,18 @@ class PandaClient:
         deterministic bytes.  A timeout with the owner still live
         proves nothing (slow is not dead) and changes nothing."""
         rt = self.runtime
-        owner_rank = rt.op_master_rank(op.dataset)
+        try:
+            owner_rank = rt.op_master_rank(op.dataset)
+        except NoLiveShardError as dead:
+            # Every shard master is gone: there is no owner to re-send
+            # the REQUEST to.  Fail the op cleanly (traced, typed)
+            # instead of crashing with an unhandled ring lookup error.
+            self._mark("cli_no_live_shard", op_id=op.op_id,
+                       dataset=op.dataset)
+            raise FaultRecoveryError(
+                f"op {op.op_id} on dataset {op.dataset!r} cannot be "
+                "re-requested: every shard master has crashed"
+            ) from dead
         if owner_rank == self._op_owner_rank:
             return
         rt.injector.note_retry(
@@ -269,7 +292,10 @@ class PandaClient:
         trace = self.runtime.trace
         # loop-invariant hoists: the predicate, and this rank's chunk
         # region per array -- both otherwise rebuilt per message
-        pred = self.comm.match_pred(tags={Tags.FETCH, done_tag})
+        tags = {Tags.FETCH, done_tag}
+        if self.is_master:
+            tags.add(Tags.OP_REJECTED)  # slo policy: load-shed reply
+        pred = self.comm.match_pred(tags=tags)
         failover = self._owner_failover
         if failover:
             pred = self._owner_pred(op, Tags.FETCH)
@@ -283,8 +309,13 @@ class PandaClient:
                     continue
             else:
                 msg = yield self.comm.recv_ev(pred)
+            if msg.tag == Tags.OP_REJECTED:
+                return msg.payload
             if msg.tag == done_tag:
-                return
+                payload = msg.payload
+                # a non-master rank learns of a rejection from the
+                # master's CLIENT_DONE re-broadcast
+                return payload if isinstance(payload, OpRejection) else None
             req: FetchRequest = msg.payload
             if req.op_id != op.op_id:
                 if self._reliable and req.op_id < op.op_id:
@@ -321,7 +352,10 @@ class PandaClient:
     def _serve_read(self, op: CollectiveOp):
         done_tag = Tags.OP_DONE if self.is_master else Tags.CLIENT_DONE
         trace = self.runtime.trace
-        pred = self.comm.match_pred(tags={Tags.PIECE, done_tag})
+        tags = {Tags.PIECE, done_tag}
+        if self.is_master:
+            tags.add(Tags.OP_REJECTED)  # slo policy: load-shed reply
+        pred = self.comm.match_pred(tags=tags)
         failover = self._owner_failover
         if failover:
             pred = self._owner_pred(op, Tags.PIECE)
@@ -335,8 +369,11 @@ class PandaClient:
                     continue
             else:
                 msg = yield self.comm.recv_ev(pred)
+            if msg.tag == Tags.OP_REJECTED:
+                return msg.payload
             if msg.tag == done_tag:
-                return
+                payload = msg.payload
+                return payload if isinstance(payload, OpRejection) else None
             piece: PieceData = msg.payload
             if piece.op_id != op.op_id:
                 if self._reliable and piece.op_id < op.op_id:

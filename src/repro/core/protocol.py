@@ -15,6 +15,7 @@ op completion          master server -> master client           OP_DONE
 op completion          master client -> other clients           CLIENT_DONE
 shutdown               runtime -> servers                       SHUTDOWN
 SchedOp                master server -> other servers           SCHED
+OpRejection            master server -> master client           OP_REJECTED
 =====================  =======================================  ==========
 
 Everything except PieceData is control-plane (256-byte wire size);
@@ -57,6 +58,8 @@ __all__ = [
     "ArraySpec",
     "CollectiveOp",
     "FetchRequest",
+    "OpRejected",
+    "OpRejection",
     "PieceAck",
     "PieceData",
     "ServerDone",
@@ -86,6 +89,13 @@ class Tags:
     #: plus scheduling metadata (see :mod:`repro.core.scheduler`);
     #: replaces SCHEMA when an inter-op scheduler is configured.
     SCHED = 21
+    #: ``slo`` policy only -- the owning shard master refuses to enqueue
+    #: a REQUEST from a tenant whose latency budget is shed-exhausted
+    #: and answers the master client with an :class:`OpRejection`
+    #: instead of an eventual OP_DONE.  Client-visible by design: the
+    #: master client re-broadcasts the rejection to its group via
+    #: CLIENT_DONE and every rank raises :class:`OpRejected`.
+    OP_REJECTED = 22
 
 
 @dataclass(frozen=True)
@@ -259,3 +269,43 @@ class ServerDone:
     #: with several client groups in flight this is what routes a
     #: completion to the right op.  -1 on the unscheduled path.
     admit_seq: int = -1
+
+
+@dataclass(frozen=True)
+class OpRejection:
+    """The ``slo`` policy's load-shed reply (tag OP_REJECTED): the
+    owning shard master refused to enqueue the op because the tenant's
+    latency budget is shed-exhausted.
+
+    Rejection is deliberately client-visible rather than silent: a shed
+    tenant that keeps waiting for OP_DONE would measure exactly the
+    unbounded latency the budget exists to prevent, and its failure
+    detector would misread the silence as a crashed master.  The master
+    client re-broadcasts this payload on CLIENT_DONE so every rank in
+    the group raises :class:`OpRejected` at the same point in the
+    collective."""
+
+    op_id: int
+    dataset: str
+    #: tenant key the budget was charged to (the op's master client).
+    tenant: int
+    #: the tenant's rolling p99 turnaround at rejection time, seconds.
+    p99: float
+    #: the configured turnaround budget, seconds.
+    budget: float
+    #: the admitting shard master's index (diagnostics).
+    shard: int = 0
+
+
+class OpRejected(RuntimeError):
+    """Raised on every rank of a collective whose REQUEST the ``slo``
+    admission policy shed.  Carries the :class:`OpRejection` the shard
+    master sent; the op performed no I/O and may be retried later."""
+
+    def __init__(self, rejection: OpRejection) -> None:
+        super().__init__(
+            f"op {rejection.op_id} on dataset {rejection.dataset!r} "
+            f"rejected by shard {rejection.shard}: tenant {rejection.tenant} "
+            f"p99 turnaround {rejection.p99:.6f}s is beyond the shed "
+            f"threshold over its {rejection.budget:.6f}s budget")
+        self.rejection = rejection

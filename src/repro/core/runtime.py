@@ -21,7 +21,10 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:
+    from repro.obs.slo import SLOTracker
 
 from repro.core.client import PandaClient
 from repro.core.config import PandaConfig
@@ -106,6 +109,14 @@ class OpLog:
 
     def leave(self, rank: int, op: CollectiveOp, now: float) -> None:
         self.records[self._key(op)].leaves[rank] = now
+
+    def reject(self, op: CollectiveOp) -> None:
+        """Drop a rejected op's record (idempotent: every rank of the
+        group calls this as it raises
+        :class:`~repro.core.protocol.OpRejected`).  The op performed no
+        I/O, so it must not appear in the run's op stream -- and a
+        later retry re-enters under a fresh op id."""
+        self.records.pop(self._key(op), None)
 
     def finished(self) -> List[OpRecord]:
         return [r for _, r in sorted(self.records.items())
@@ -195,6 +206,10 @@ class RunResult:
         lines.append(utilization(self.runtime).summary())
         if self.runtime.sched_stats is not None:
             lines.append(self.runtime.sched_stats.summary())
+        if self.runtime.slo_trackers:
+            from repro.obs.slo import summarize_slo
+
+            lines.append(summarize_slo(self.runtime.slo_trackers))
         if self.trace is not None and self.elapsed > 0:
             from repro.obs.critical_path import analyze
 
@@ -272,6 +287,12 @@ class PandaRuntime:
                         f"crash server index {idx} out of range: this "
                         f"runtime has {n_io} I/O node(s)"
                     )
+                if idx == 0 and self.n_shards <= 1:
+                    raise ValueError(
+                        "allow_master_crash requires a sharded scheduler "
+                        "(n_shards > 1): with a single master server "
+                        "there is no surviving shard to fail over to"
+                    )
             self.injector = FaultInjector(self.config.faults, self.sim,
                                           trace=self.trace)
             self.injector.droppable_tags = frozenset(
@@ -304,6 +325,10 @@ class PandaRuntime:
         #: (:class:`repro.core.scheduler.SchedStats`); replaced at the
         #: start of each run, ``None`` on the unscheduled path.
         self.sched_stats = None
+        #: ``slo`` policy: shard index -> that master's per-tenant
+        #: :class:`repro.obs.slo.SLOTracker`; replaced at the start of
+        #: each run, empty under every other policy.
+        self.slo_trackers: Dict[int, "SLOTracker"] = {}
         self._client_state: Dict[int, dict] = {r: {} for r in range(n_compute)}
 
     # -- rank arithmetic ------------------------------------------------------
@@ -353,6 +378,46 @@ class PandaRuntime:
         """Rank a client sends ``dataset``'s REQUEST to: the owning
         shard master (the single master server when unsharded)."""
         return self.server_rank(self.shard_owner(dataset))
+
+    # -- fault schedule across runs -------------------------------------------
+    def reschedule_crashes(
+        self, crashes: List[tuple]
+    ) -> None:
+        """Swap the fail-stop crash schedule used by subsequent runs.
+
+        The soak harness drives one runtime through many load cycles
+        (file systems and catalog persist, each run repairs crashed
+        nodes) and needs a *different* crash each cycle; crash times
+        are relative to each run's start, read from the config at
+        ``run_partitioned`` entry, so replacing the frozen spec here is
+        all it takes.  Rates, seeds and PRNG streams are untouched --
+        the fault schedule stays a pure function of the original seed.
+        """
+        from dataclasses import replace
+
+        if self.config.faults is None or self.injector is None:
+            raise ValueError(
+                "reschedule_crashes needs fault mode: construct the "
+                "runtime with PandaConfig(faults=FaultSpec(...))"
+            )
+        spec = replace(self.config.faults, crashes=tuple(crashes))
+        for idx, _t in spec.crashes:
+            if idx >= self.n_io:
+                raise ValueError(
+                    f"crash server index {idx} out of range: this "
+                    f"runtime has {self.n_io} I/O node(s)"
+                )
+            if idx == 0 and self.n_shards <= 1:
+                raise ValueError(
+                    "allow_master_crash requires a sharded scheduler "
+                    "(n_shards > 1): with a single master server "
+                    "there is no surviving shard to fail over to"
+                )
+        self.config = replace(self.config, faults=spec)
+        self.injector.spec = spec
+        # keep the plan's view coherent; its PRNG streams are keyed on
+        # the (unchanged) seed, so in-flight draws are unaffected
+        self.injector.plan.spec = spec
 
     # -- catalog (.schema files) -------------------------------------------------
     def catalog_check(self, op: CollectiveOp) -> None:
@@ -467,6 +532,7 @@ class PandaRuntime:
                             n_apps=len(assignments))
         counters_before = COUNTERS.snapshot()
         self.crashed_servers = set()  # a fresh run repairs every node
+        self.slo_trackers = {}  # shard masters re-register per run
         sched_cfg = self.config.scheduler
         if sched_cfg is not None and sched_cfg.n_shards > 1:
             # sharded mode: the aggregate stats container is created

@@ -70,24 +70,44 @@ from dataclasses import dataclass, field
 from typing import (TYPE_CHECKING, Any, Deque, Dict, Iterable, List,
                     Optional, Set, Tuple)
 
+from repro.obs.slo import SLOBudget
+
 if TYPE_CHECKING:  # avoid import cycles; annotations are strings
     from repro.core.protocol import CollectiveOp
     from repro.core.recovery import RecoveryAssignment
 
 __all__ = [
     "AdmissionQueue",
+    "NoLiveShardError",
     "OpProgress",
     "OpSchedRecord",
     "SchedOp",
     "SchedStats",
     "SchedulerConfig",
+    "SLOPolicy",
     "ServerScheduler",
     "ShardMap",
     "ShardedSchedStats",
     "estimate_op",
 ]
 
-POLICIES = ("fifo", "sjf", "fair")
+POLICIES = ("fifo", "sjf", "fair", "slo")
+
+
+class NoLiveShardError(RuntimeError):
+    """Every shard master on the ring is dead: there is no server left
+    that could own the dataset, so the op cannot even be requested.
+
+    Typed (rather than a bare ``ValueError``) so the client retry path
+    can distinguish "the admission plane is gone" -- a clean, traced
+    operation failure -- from a programming error, and surface it as
+    :class:`~repro.faults.FaultRecoveryError` to the application."""
+
+    def __init__(self, dataset: str) -> None:
+        super().__init__(
+            f"no live shard on the ring for dataset {dataset!r}: "
+            "every shard master is dead")
+        self.dataset = dataset
 
 
 @dataclass(frozen=True)
@@ -115,12 +135,21 @@ class SchedulerConfig:
     #: hash; each shard master runs its own queue and max_in_flight /
     #: queue_limit budget.
     n_shards: int = 1
+    #: per-tenant latency budget for the ``slo`` policy
+    #: (:class:`repro.obs.slo.SLOBudget`).  ``None`` under ``slo``
+    #: still tracks per-tenant latency but never demotes or sheds --
+    #: the policy then services exactly like ``fair``.
+    slo: Optional[SLOBudget] = None
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
             raise ValueError(
                 f"unknown scheduling policy {self.policy!r}; "
                 f"known: {POLICIES}"
+            )
+        if self.slo is not None and self.policy != "slo":
+            raise ValueError(
+                f"an SLO budget needs policy='slo', got {self.policy!r}"
             )
         if self.max_in_flight < 1:
             raise ValueError("max_in_flight must be >= 1")
@@ -153,6 +182,12 @@ class SchedOp:
     #: (SERVER_DONE) route back to server rank ``shard``.  Always 0 in
     #: single-master mode.
     shard: int = 0
+    #: DRR service weight fixed by the admitting master's policy at
+    #: admission time (the ``slo`` policy demotes over-budget tenants
+    #: to weight 1 and boosts healthy ones).  0 means "derive from
+    #: priority" -- the historical behaviour of every other policy,
+    #: kept as the wire default so their payloads are unchanged.
+    weight: int = 0
 
 
 def estimate_op(op: "CollectiveOp", n_io: int, spec: Any,
@@ -219,7 +254,7 @@ class ShardMap:
             _, shard = self._points[(start + step) % n]
             if live is None or shard in live:
                 return shard
-        raise ValueError("no live shard on the ring")
+        raise NoLiveShardError(dataset)
 
     def shares(self, datasets: Iterable[str],
                live: Optional[Set[int]] = None) -> Dict[int, int]:
@@ -277,7 +312,7 @@ class OpProgress:
 
     @property
     def weight(self) -> int:
-        return max(1, self.sched.priority)
+        return self.sched.weight or max(1, self.sched.priority)
 
 
 # -- policies ----------------------------------------------------------------
@@ -291,12 +326,19 @@ class _Policy:
     #: the admission key is monotone in arrival order, so the first
     #: eligible entry in seq order is the minimum -- the queue's
     #: admission scan can stop at the first hit.  SJF keys on the
-    #: estimate and must scan every eligible entry.
+    #: estimate, SLO on the demotion flag, and both must scan every
+    #: eligible entry.
     admission_by_seq = True
 
-    def admission_key(self, seq: int, estimate: float) -> tuple:
+    def admission_key(self, entry: "_Arrival") -> tuple:
         """Sort key among *eligible* queued ops at admission time."""
-        return (seq,)
+        return (entry.seq,)
+
+    def drr_weight(self, priority: int, demoted: bool) -> int:
+        """The DRR service weight stamped into the SCHED payload at
+        admission.  The base rule is the historical priority weight;
+        the SLO policy overrides it to demote over-budget tenants."""
+        return max(1, priority)
 
     def admitted(self, p: OpProgress) -> None:
         pass
@@ -328,8 +370,8 @@ class SJFPolicy(_Policy):
     name = "sjf"
     admission_by_seq = False
 
-    def admission_key(self, seq: int, estimate: float) -> tuple:
-        return (estimate, seq)
+    def admission_key(self, entry: "_Arrival") -> tuple:
+        return (entry.estimate, entry.seq)
 
     def select(self, active: List[OpProgress]) -> OpProgress:
         return min(active, key=lambda p: (p.sched.estimate,
@@ -369,11 +411,45 @@ class FairSharePolicy(_Policy):
             self._ring.rotate(-1)
 
 
+#: healthy-tenant DRR weight multiplier under the ``slo`` policy: a
+#: demoted op serves at weight 1, a healthy op at priority x this, so
+#: a demoted tenant still progresses (no starvation) at 1/(4*priority)
+#: of a healthy competitor's rate.
+SLO_HEALTHY_BOOST = 4
+
+
+class SLOPolicy(FairSharePolicy):
+    """Fair share with SLO demotion (admission *and* service).
+
+    The policy itself is pure: the owning shard master consults its
+    :class:`repro.obs.slo.SLOTracker` once, at REQUEST enqueue, and
+    stamps the verdict into the arrival (``demoted``) and the SCHED
+    payload (``weight``), so every server replays identical decisions
+    without seeing the tracker.  Admission orders healthy arrivals
+    (FIFO among themselves) strictly before demoted ones; service is
+    the same weighted DRR as ``fair`` with demoted ops at minimum
+    weight.  Ops from tenants beyond the shed threshold never reach
+    the queue at all (see the server's enqueue path)."""
+
+    name = "slo"
+    admission_by_seq = False
+
+    def admission_key(self, entry: "_Arrival") -> tuple:
+        return (1 if entry.demoted else 0, entry.seq)
+
+    def drr_weight(self, priority: int, demoted: bool) -> int:
+        if demoted:
+            return 1
+        return max(1, priority) * SLO_HEALTHY_BOOST
+
+
 def make_policy(config: SchedulerConfig) -> _Policy:
     if config.policy == "fifo":
         return FifoPolicy()
     if config.policy == "sjf":
         return SJFPolicy()
+    if config.policy == "slo":
+        return SLOPolicy(config.quantum_bytes)
     return FairSharePolicy(config.quantum_bytes)
 
 
@@ -429,6 +505,10 @@ class _Arrival:
     op: "CollectiveOp"
     estimate: float
     arrived: float
+    #: ``slo`` policy: the tenant was over budget when this REQUEST
+    #: arrived.  Fixed at enqueue (deterministic: one decision at one
+    #: instant in the shard master's loop) and never re-evaluated.
+    demoted: bool = False
 
 
 def _conflicts(a: "CollectiveOp", b: "CollectiveOp") -> bool:
@@ -478,14 +558,14 @@ class AdmissionQueue:
         return len(self._q) >= self.limit
 
     def push(self, op: "CollectiveOp", estimate: float,
-             now: float) -> _Arrival:
+             now: float, demoted: bool = False) -> _Arrival:
         if self.full:
             raise RuntimeError(
                 f"admission queue overflow (limit {self.limit}); the "
                 "server must stop draining REQUESTs while the queue is "
                 "full"
             )
-        entry = _Arrival(self._next_seq, op, estimate, now)
+        entry = _Arrival(self._next_seq, op, estimate, now, demoted)
         self._next_seq += self._seq_step
         self._q[entry.seq] = entry
         self._by_dataset.setdefault(op.dataset, []).append(entry)
@@ -526,7 +606,7 @@ class AdmissionQueue:
             if first_hit:
                 # admission_key is monotone in seq: first eligible wins
                 return e
-            key = self.policy.admission_key(e.seq, e.estimate)
+            key = self.policy.admission_key(e)
             if best_key is None or key < best_key:
                 best, best_key = e, key
         return best

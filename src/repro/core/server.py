@@ -62,6 +62,7 @@ from repro.core.protocol import (
     ArraySpec,
     CollectiveOp,
     FetchRequest,
+    OpRejection,
     PieceData,
     ServerDone,
     Tags,
@@ -83,6 +84,7 @@ from repro.core.scheduler import (
 )
 from repro.faults import FaultRecoveryError
 from repro.fs.filesystem import FileSystem
+from repro.obs.slo import SLOTracker
 from repro.mpi.comm import Communicator
 from repro.mpi.datatypes import DataBlock
 from repro.schema.regions import Region, runs_within
@@ -108,6 +110,9 @@ class PandaServer:
         #: shard master), or None.  Single-master mode: the master is
         #: shard 0.  Set by :meth:`_run_scheduled`.
         self._shard: Optional[int] = None
+        #: ``slo`` policy, shard masters only: this shard's per-tenant
+        #: latency bookkeeping.  Set by :meth:`_run_scheduled`.
+        self._slo_tracker: Optional[SLOTracker] = None
         # per-op accounting for the trace/results
         self.bytes_written = 0
         self.bytes_read = 0
@@ -700,6 +705,12 @@ class PandaServer:
                 rt.sched_stats.shards[self._shard] = self._sched_stats
             else:
                 rt.sched_stats = self._sched_stats
+            if cfg.policy == "slo":
+                # per-shard tracker, deliberately un-gossiped: every
+                # demote/shed decision is local to this master's loop,
+                # so it is deterministic under dispatch perturbation
+                self._slo_tracker = SLOTracker(cfg.slo, shard=self._shard)
+                rt.slo_trackers[self._shard] = self._slo_tracker
 
             def gate(m, _queue=queue):
                 # backpressure: while the admission queue is full,
@@ -754,7 +765,7 @@ class PandaServer:
             return True
         yield self.comm.handle_ev()
         if msg.tag == Tags.REQUEST:
-            self._sched_enqueue(msg.payload, queue)
+            yield from self._sched_enqueue(msg.payload, queue)
         elif msg.tag == Tags.SCHED:
             yield from self._sched_start(msg.payload, sched)
         elif msg.tag == Tags.SERVER_DONE:
@@ -772,15 +783,45 @@ class PandaServer:
             yield from self._serve_recover(msg.payload)
         return False
 
-    def _sched_enqueue(self, op: CollectiveOp, queue: AdmissionQueue) -> None:
+    def _sched_enqueue(self, op: CollectiveOp, queue: AdmissionQueue):
         """Shard master: one REQUEST enters the bounded admission
         queue.  Sharded mode tags the trace records with the shard, so
         the obs layer can break queue depth and admission latency out
-        per shard; single-master records stay byte-identical."""
+        per shard; single-master records stay byte-identical.
+
+        Under the ``slo`` policy the tenant's budget is consulted
+        exactly once, here: a tenant beyond the shed threshold gets an
+        immediate OP_REJECTED reply (the REQUEST never enters the
+        queue); one merely over budget is enqueued demoted.  Both
+        verdicts are fixed at this deterministic instant and never
+        re-evaluated, which is what keeps the policy race-detector
+        green."""
         rt = self.runtime
-        est = estimate_op(op, rt.n_io, self.comm.spec, rt.config)
         now = self.comm.sim.now
-        entry = queue.push(op, est, now)
+        tracker = self._slo_tracker
+        tenant = op.master_client
+        if tracker is not None and tracker.should_shed(tenant, now):
+            tracker.note_shed(tenant, now)
+            rejection = OpRejection(
+                op_id=op.op_id, dataset=op.dataset, tenant=tenant,
+                p99=tracker.turnaround_p99(tenant) or 0.0,
+                budget=tracker.budget.turnaround_p99,
+                shard=self._shard,
+            )
+            if rt.trace is not None:
+                extra = {"shard": self._shard} if rt.n_shards > 1 else {}
+                rt.trace.emit(now, "sched", "sched_reject", op_id=op.op_id,
+                              dataset=op.dataset, tenant=tenant,
+                              p99=rejection.p99, budget=rejection.budget,
+                              **extra)
+            yield from self.comm.send(op.master_client, Tags.OP_REJECTED,
+                                      rejection)
+            return
+        demoted = tracker is not None and tracker.exhausted(tenant, now)
+        est = estimate_op(op, rt.n_io, self.comm.spec, rt.config)
+        entry = queue.push(op, est, now, demoted=demoted)
+        if demoted:
+            tracker.note_demoted(tenant)
         stats = self._sched_stats
         stats.records[entry.seq] = OpSchedRecord(
             admit_seq=entry.seq, op_id=op.op_id, group=op.client_ranks,
@@ -790,6 +831,8 @@ class PandaServer:
         stats.queue_peak = max(stats.queue_peak, queue.peak)
         if rt.trace is not None:
             extra = {"shard": self._shard} if rt.n_shards > 1 else {}
+            if demoted:
+                extra["demoted"] = True
             rt.trace.emit(now, "sched", "sched_enqueue", admit_seq=entry.seq,
                           op_id=op.op_id, dataset=op.dataset, kind=op.kind,
                           qlen=len(queue), **extra)
@@ -817,7 +860,9 @@ class PandaServer:
                     self._fault_directives(op)
             sop = SchedOp(op=op, admit_seq=entry.seq, priority=op.priority,
                           estimate=entry.estimate, skip=skip,
-                          recoveries=recoveries, shard=self._shard)
+                          recoveries=recoveries, shard=self._shard,
+                          weight=queue.policy.drr_weight(op.priority,
+                                                         entry.demoted))
             # a live server participates unless it is skip-listed with
             # no recovery assignment routed to it: a fully skipped
             # server has nothing to execute and must not be contacted
@@ -970,6 +1015,11 @@ class PandaServer:
         rec = self._sched_stats.records[admit_seq]
         rec.completed = now
         rec.moved = comp.moved
+        if self._slo_tracker is not None:
+            # samples arrive in this shard master's deterministic
+            # completion order; the tenant key is the op's master client
+            self._slo_tracker.record(op.master_client, rec.queue_wait,
+                                     rec.turnaround, now)
         if rt.trace is not None:
             extra = {"shard": self._shard} if rt.n_shards > 1 else {}
             rt.trace.emit(now, "sched", "sched_done", admit_seq=admit_seq,

@@ -98,7 +98,8 @@ class FaultSpec:
     #: server) is assumed reliable and may not crash.
     crashes: Tuple[Tuple[int, float], ...] = ()
     #: seconds a server waits for one piece exchange (FETCH->DATA or
-    #: PIECE->ACK) before retrying; doubled per attempt by ``backoff``.
+    #: PIECE->ACK) before retrying; doubled per attempt by ``backoff``
+    #: and clamped at :attr:`max_backoff`.
     retry_timeout: float = 0.5
     #: bounded retry budget shared by disk requests and piece exchanges.
     max_retries: int = 8
@@ -109,6 +110,18 @@ class FaultSpec:
     #: how often the master's gather polls its failure detector while
     #: waiting for server completions, seconds.
     detect_timeout: float = 0.5
+    #: ceiling on any single backed-off timeout or sleep, seconds.
+    #: Without it ``retry_timeout * backoff ** attempt`` grows without
+    #: bound -- at the defaults, attempt 8 already waits 128 s of
+    #: simulated time on one exchange, which the failure detector (and
+    #: any human reading the trace) misreads as a crash.
+    max_backoff: float = 8.0
+    #: allow scheduling a crash of server index 0.  Only meaningful
+    #: with a sharded scheduler (``n_shards > 1``), where index 0 is
+    #: one shard master among several rather than *the* master; the
+    #: runtime enforces that.  Off by default: the paper's single
+    #: master is assumed reliable.
+    allow_master_crash: bool = False
 
     def __post_init__(self) -> None:
         for name in ("disk_fault_rate", "msg_drop_rate", "msg_delay_rate"):
@@ -125,13 +138,17 @@ class FaultSpec:
             raise ValueError("backoff must be >= 1")
         if self.detect_timeout <= 0:
             raise ValueError("detect_timeout must be > 0")
+        if self.max_backoff <= 0:
+            raise ValueError("max_backoff must be > 0")
         crashes = tuple((int(i), float(t)) for i, t in self.crashes)
         object.__setattr__(self, "crashes", crashes)
         for idx, t in crashes:
-            if idx == 0:
+            if idx == 0 and not self.allow_master_crash:
                 raise ValueError(
                     "the master server (index 0) is assumed reliable and "
-                    "cannot crash; crash a non-master I/O node instead"
+                    "cannot crash; crash a non-master I/O node instead, "
+                    "or set allow_master_crash=True under a sharded "
+                    "scheduler"
                 )
             if idx < 0:
                 raise ValueError(f"crash server index {idx} must be >= 0")
@@ -247,9 +264,15 @@ class FaultInjector:
                    survivors=survivors, nbytes=nbytes)
 
     def backoff_timeout(self, attempt: int) -> float:
-        """Exchange timeout for the given (0-based) attempt."""
-        return self.spec.retry_timeout * (self.spec.backoff ** attempt)
+        """Exchange timeout for the given (0-based) attempt, clamped at
+        ``spec.max_backoff`` so a deep retry budget cannot stall a
+        single exchange for minutes of simulated time."""
+        return min(self.spec.retry_timeout * (self.spec.backoff ** attempt),
+                   self.spec.max_backoff)
 
     def backoff_delay(self, attempt: int) -> float:
-        """Backoff sleep before disk retry ``attempt`` (1-based)."""
-        return self.spec.retry_delay * (self.spec.backoff ** (attempt - 1))
+        """Backoff sleep before disk retry ``attempt`` (1-based),
+        clamped at ``spec.max_backoff``."""
+        return min(self.spec.retry_delay
+                   * (self.spec.backoff ** (attempt - 1)),
+                   self.spec.max_backoff)

@@ -289,3 +289,35 @@ def test_fault_plan_streams_are_independent():
 
 def test_disk_fault_surfaces_as_oserror_subclass():
     assert issubclass(TransientDiskError, OSError)
+
+
+# -- bounded exponential backoff ---------------------------------------------
+
+def test_backoff_is_clamped_at_max_backoff():
+    """Regression: the backoff used to be unbounded -- at the default
+    budget (retry_timeout 0.5 s, factor 2, 8 retries) attempt 8 waited
+    ``0.5 * 2**8 = 128`` simulated seconds on one exchange, which the
+    failure detector misreads as a crash.  Every backed-off timeout and
+    sleep must now cap at ``max_backoff``."""
+    spec = FaultSpec()
+    inj = FaultInjector(spec, Simulator())
+    # the old (unclamped) formula really did blow past the cap
+    unclamped = spec.retry_timeout * spec.backoff ** spec.max_retries
+    assert unclamped > spec.max_backoff
+    assert inj.backoff_timeout(spec.max_retries) == spec.max_backoff
+    assert inj.backoff_delay(40) == spec.max_backoff
+    # early attempts are untouched by the clamp
+    assert inj.backoff_timeout(0) == spec.retry_timeout
+    assert inj.backoff_timeout(1) == spec.retry_timeout * spec.backoff
+    assert inj.backoff_delay(1) == spec.retry_delay
+    # the clamp kicks in exactly where the curve crosses it
+    for attempt in range(spec.max_retries + 4):
+        t = inj.backoff_timeout(attempt)
+        assert t <= spec.max_backoff
+        assert t == min(spec.retry_timeout * spec.backoff ** attempt,
+                        spec.max_backoff)
+
+
+def test_max_backoff_validation():
+    with pytest.raises(ValueError, match="max_backoff"):
+        FaultSpec(max_backoff=0.0)

@@ -15,7 +15,7 @@ from repro.bench.harness import run_traced_point
 from repro.bench.stats import utilization
 from repro.obs import analyze, observe_trace, to_chrome_trace, write_chrome_trace
 from repro.obs.critical_path import PHASES
-from repro.obs.metrics import MetricsRegistry, TimeSeries
+from repro.obs.metrics import DURATION_BUCKETS, Histogram, MetricsRegistry, TimeSeries
 
 
 @pytest.fixture(scope="module")
@@ -224,6 +224,39 @@ def test_histogram_cumulative_buckets(fig3_point):
     assert h.counts == sorted(h.counts)
     assert h.counts[-1] <= h.count
     assert math.isfinite(h.sum)
+
+
+def test_histogram_bisect_matches_linear_scan():
+    """The O(log n) bisect ``observe`` is observation-for-observation
+    equivalent to the old linear scan (inclusive ``value <= le``),
+    including values exactly on bucket boundaries."""
+    import random
+
+    def linear_counts(buckets, values):
+        counts = [0] * len(buckets)
+        for v in values:
+            for i, le in enumerate(buckets):
+                if v <= le:
+                    counts[i] += 1
+        return counts
+
+    rng = random.Random(17)
+    values = [rng.uniform(0.0, 2.0 * DURATION_BUCKETS[-1])
+              for _ in range(500)]
+    # exact boundaries, just-below, just-above, and out-of-range extremes
+    for le in DURATION_BUCKETS:
+        values += [le, le - 1e-12, le + 1e-12]
+    values += [0.0, -1.0, 1e9]
+
+    h = Histogram()
+    for v in values:
+        h.observe(v)
+    assert h.counts == linear_counts(h.buckets, values)
+    assert h.count == len(values)
+    assert h.sum == pytest.approx(sum(values))
+    # counts are cumulative and capped by the total
+    assert h.counts == sorted(h.counts)
+    assert h.counts[-1] <= h.count
 
 
 def test_counter_rejects_decrease():

@@ -25,6 +25,7 @@ import pytest
 
 from repro.core.scheduler import (
     AdmissionQueue,
+    NoLiveShardError,
     SchedulerConfig,
     ShardMap,
     _hash_point,
@@ -63,8 +64,10 @@ def test_owner_lies_in_the_live_set(name, n_shards, data):
 
 
 def test_empty_live_set_raises():
+    """All shard masters dead: the typed error names the dataset, so
+    the client retry path can surface a clean operation failure."""
     ring = ShardMap(4)
-    with pytest.raises(ValueError):
+    with pytest.raises(NoLiveShardError, match="every shard master"):
         ring.owner("x", live=set())
 
 
