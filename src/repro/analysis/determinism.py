@@ -1,4 +1,4 @@
-"""AST determinism lints for sim-visible code (rules PL001-PL006).
+"""AST determinism lints for sim-visible code (rules PL001-PL006, PL008).
 
 The repo's load-bearing guarantee is bit-identical simulated timings:
 the golden determinism tests pin per-op elapsed times to exact float
@@ -31,6 +31,11 @@ Rules
 - **PL006** float accumulation over an unordered iterable
   (``sum(...)`` over a set-typed value): float addition is not
   associative, so the result depends on iteration order.
+- **PL008** ``int()`` truncation of an arithmetic expression used as a
+  sequence index (``xs[int(q * n)]``): float representation error
+  decides the element (``int(0.29 * 100) == 28``) -- the exact
+  quantile-rounding hazard fixed by hand in :mod:`repro.obs.slo`.
+  Use an explicit nearest-rank integer expression instead.
 
 The analysis is deliberately intraprocedural and syntactic: it tracks
 local names assigned unordered values within one scope and never
@@ -329,13 +334,42 @@ class _FileLinter(ast.NodeVisitor):
             and len(node.args) == 1
         )
 
-    # PL005: id()-keyed subscripts and literals
+    @staticmethod
+    def _is_truncating_index(node: ast.AST) -> bool:
+        """``int(<arithmetic>)`` -- the quantile-rounding hazard: a
+        float product/quotient truncated into a sequence index (e.g.
+        ``xs[int(q * n)]``), where float representation error decides
+        which element is read (``int(0.29 * 100)`` is 28).  Plain
+        ``int(name)`` casts and base conversions are not flagged."""
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "int"
+            and len(node.args) == 1
+            and not node.keywords
+        ):
+            return False
+        return any(
+            isinstance(sub, ast.BinOp)
+            and isinstance(sub.op, (ast.Mult, ast.Div, ast.Pow))
+            for sub in ast.walk(node.args[0])
+        )
+
+    # PL005: id()-keyed subscripts; PL008: int()-truncated float indices
     def visit_Subscript(self, node: ast.Subscript) -> None:
         if self._is_id_call(node.slice):
             self._flag(
                 "PL005", node,
                 "container indexed by id(...): identity keys depend on "
                 "the allocator; key by content instead",
+            )
+        if self._is_truncating_index(node.slice):
+            self._flag(
+                "PL008", node,
+                "sequence indexed by int() of an arithmetic expression: "
+                "float truncation picks the element by representation "
+                "error (int(0.29 * 100) == 28); use an explicit "
+                "nearest-rank integer expression (round/ceil with // )",
             )
         self.generic_visit(node)
 

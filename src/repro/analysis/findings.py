@@ -57,10 +57,17 @@ RULES: Dict[str, str] = {
     "PL005": "id()-keyed container",
     "PL006": "float accumulation over an unordered iterable",
     "PL007": "per-event attribute/dict lookup in the engine dispatch loop",
+    "PL008": "int() truncation of an arithmetic float index into a sequence",
     "PL101": "protocol: sent tag has no receive site",
     "PL102": "protocol: received tag has no send site",
     "PL103": "protocol: dead tag (defined but never sent nor received)",
     "PL104": "protocol: potential deadlock cycle (mutually guarded tags)",
+    # dynamic findings from panda-mc (repro.analysis.mc), reported per
+    # explored schedule rather than per source line
+    "PL200": "model check: error raised under a reordered schedule",
+    "PL201": "model check: result depends on dispatch order (divergence)",
+    "PL202": "model check: deadlock reachable under some schedule",
+    "PL203": "model check: orphan messages queued at quiescence",
 }
 
 

@@ -60,10 +60,15 @@ class Scenario:
     ``run(perturb_seed)`` must build everything fresh (simulator,
     runtime, arrays) and return a :class:`ScenarioRun`;
     ``perturb_seed=None`` means the deterministic baseline order.
+
+    Every scenario also accepts a keyword-only ``_instrument`` hook,
+    called with the fresh runtime before the run starts -- this is how
+    the model checker (:mod:`repro.analysis.mc`) installs its schedule
+    controller and finds the runtime again for quiescence checks.
     """
 
     name: str
-    run: Callable[[Optional[int]], ScenarioRun]
+    run: Callable[..., ScenarioRun]
 
 
 @dataclass(frozen=True)
@@ -183,7 +188,17 @@ def _roundtrip_scenario(
     reorganize: bool,
     faults: Optional[object],
     real_payloads: bool,
+    shape: Tuple[int, int] = (32, 24),
+    mem_shape: Tuple[int, ...] = (2, 2),
+    disk_shape: Tuple[int, ...] = (4,),
+    n_io: int = 2,
 ) -> Scenario:
+    """Write+read roundtrip over ``prod(mem_shape)`` compute ranks and
+    ``n_io`` servers.  The default sizes are the race sweep's; the
+    model checker passes smaller ones so exhaustive exploration stays
+    tractable."""
+    import math
+
     import numpy as np
 
     from repro.core import (
@@ -196,18 +211,19 @@ def _roundtrip_scenario(
     )
     from repro.workloads.apps import write_read_roundtrip_app
 
-    shape = (32, 24)
+    n_compute = math.prod(mem_shape)
 
-    def run(perturb_seed: Optional[int]) -> ScenarioRun:
-        memory = ArrayLayout("mem", (2, 2))
+    def run(perturb_seed: Optional[int], *,
+            _instrument: Optional[Callable[[object], None]] = None) -> ScenarioRun:
+        memory = ArrayLayout("mem", mem_shape)
         if reorganize:
-            disk = ArrayLayout("disk", (4,))
+            disk = ArrayLayout("disk", disk_shape)
             a = Array("a", shape, np.float64, memory, (BLOCK, BLOCK),
                       disk, (BLOCK, NONE))
         else:
             a = Array("a", shape, np.float64, memory, (BLOCK, BLOCK))
         config = PandaConfig(faults=faults) if faults is not None else None
-        runtime = PandaRuntime(n_compute=4, n_io=2, config=config,
+        runtime = PandaRuntime(n_compute=n_compute, n_io=n_io, config=config,
                                real_payloads=real_payloads)
         data = None
         if real_payloads:
@@ -216,11 +232,13 @@ def _roundtrip_scenario(
             data = {"a": {
                 i: np.ascontiguousarray(
                     g[a.memory_schema.chunk(i).region.slices()])
-                for i in range(4)
+                for i in range(n_compute)
             }}
         log = runtime.sim.enable_dispatch_log()
         if perturb_seed is not None:
             runtime.sim.enable_perturbation(perturb_seed)
+        if _instrument is not None:
+            _instrument(runtime)
         result = runtime.run(write_read_roundtrip_app([a], name, data))
         fingerprint = tuple(
             f"{op.kind}:{op.elapsed.hex()}:{op.total_bytes}"
@@ -231,14 +249,23 @@ def _roundtrip_scenario(
     return Scenario(name, run)
 
 
-def _scheduled_scenario(policy: str) -> Scenario:
+def _scheduled_scenario(
+    policy: str,
+    n_apps: int = 4,
+    n_compute: int = 8,
+    n_io: int = 2,
+    size_mb: int = 16,
+    max_in_flight: int = 2,
+    name: Optional[str] = None,
+) -> Scenario:
     """Concurrent collective writes under one inter-op scheduling
     policy.  Group *i* computes ``i * stagger`` before its REQUEST, so
     arrival order (and therefore the whole admission schedule) is
     causal rather than a same-timestamp dispatch coincidence -- which
     is exactly the property perturbation then verifies."""
 
-    def run(perturb_seed: Optional[int]) -> ScenarioRun:
+    def run(perturb_seed: Optional[int], *,
+            _instrument: Optional[Callable[[object], None]] = None) -> ScenarioRun:
         from repro.bench.sched import run_concurrent_writes
 
         live_log: List[DispatchLog] = []
@@ -248,9 +275,12 @@ def _scheduled_scenario(policy: str) -> Scenario:
             live_log.append(sim.enable_dispatch_log())
             if perturb_seed is not None:
                 sim.enable_perturbation(perturb_seed)
+            if _instrument is not None:
+                _instrument(runtime)
 
         result, stats = run_concurrent_writes(
-            policy, n_apps=4, n_io=2, size_mb=16, max_in_flight=2,
+            policy, n_apps=n_apps, n_compute=n_compute, n_io=n_io,
+            size_mb=size_mb, max_in_flight=max_in_flight,
             stagger=1e-3, runtime_hook=hook,
         )
         assert stats is not None
@@ -264,10 +294,17 @@ def _scheduled_scenario(policy: str) -> Scenario:
         )
         return ScenarioRun(fingerprint, tuple(live_log[0]))
 
-    return Scenario(f"sched-{policy}", run)
+    return Scenario(name or f"sched-{policy}", run)
 
 
-def _sharded_scenario(n_shards: int) -> Scenario:
+def _sharded_scenario(
+    n_shards: int,
+    n_apps: int = 4,
+    n_compute: int = 8,
+    n_io: int = 4,
+    size_mb: int = 16,
+    name: Optional[str] = None,
+) -> Scenario:
     """Concurrent scheduled writes with the admission plane partitioned
     over ``n_shards`` shard masters.  Staggered causal arrivals as in
     :func:`_scheduled_scenario`; the fingerprint additionally pins each
@@ -275,7 +312,8 @@ def _sharded_scenario(n_shards: int) -> Scenario:
     perturbed dispatch order can neither change any shard's admission
     schedule nor re-route a dataset to a different owner."""
 
-    def run(perturb_seed: Optional[int]) -> ScenarioRun:
+    def run(perturb_seed: Optional[int], *,
+            _instrument: Optional[Callable[[object], None]] = None) -> ScenarioRun:
         from repro.bench.sched import run_concurrent_writes
 
         live_log: List[DispatchLog] = []
@@ -285,9 +323,12 @@ def _sharded_scenario(n_shards: int) -> Scenario:
             live_log.append(sim.enable_dispatch_log())
             if perturb_seed is not None:
                 sim.enable_perturbation(perturb_seed)
+            if _instrument is not None:
+                _instrument(runtime)
 
         result, stats = run_concurrent_writes(
-            "fair", n_apps=4, n_io=4, size_mb=16, max_in_flight=2,
+            "fair", n_apps=n_apps, n_io=n_io, size_mb=size_mb,
+            n_compute=n_compute, max_in_flight=2,
             stagger=1e-3, runtime_hook=hook, n_shards=n_shards,
         )
         assert stats is not None
@@ -302,7 +343,119 @@ def _sharded_scenario(n_shards: int) -> Scenario:
         )
         return ScenarioRun(fingerprint, tuple(live_log[0]))
 
-    return Scenario(f"sched-sharded-{n_shards}", run)
+    return Scenario(name or f"sched-sharded-{n_shards}", run)
+
+
+def _slo_scenario(
+    n_heavy: int = 4,
+    heavy_ops: int = 8,
+    n_small: int = 2,
+    small_ops: int = 3,
+    n_io: int = 2,
+    budget_s: float = 0.8,
+    small_start: float = 9.0,
+) -> Scenario:
+    """The ``slo`` policy under *enforcement*: heavy tenants stream
+    writes back-to-back and blow their latency budget -- they get
+    demoted, and at least one op is pushed past the shed threshold and
+    rejected client-visibly (the heavy script catches
+    :class:`OpRejected`, backs off and retries).  Small tenants arrive
+    later and stay under budget.  The fingerprint pins the complete
+    admission schedule, every demotion/shed decision, and each
+    client's observed rejection count, so a perturbed dispatch order
+    changing *any* enforcement outcome is a detected race.  The run
+    asserts that demotions and a client-visible shed actually occur,
+    so the scenario cannot silently decay into the unenforced
+    ``sched-slo`` case."""
+
+    def run(perturb_seed: Optional[int], *,
+            _instrument: Optional[Callable[[object], None]] = None) -> ScenarioRun:
+        import numpy as np
+
+        from repro.core.api import Array, ArrayGroup, ArrayLayout
+        from repro.core.config import PandaConfig
+        from repro.core.protocol import OpRejected
+        from repro.core.runtime import PandaRuntime
+        from repro.core.scheduler import SchedulerConfig
+        from repro.machine import sp2
+        from repro.obs.slo import SLOBudget
+        from repro.schema.distribution import BLOCK, NONE
+
+        smem = ArrayLayout("slo-small-mem", (1,))
+        sdisk = ArrayLayout("slo-small-disk", (1,))
+        small = Array("slo-small", (1024,), np.float64, smem, [BLOCK],
+                      sdisk, [BLOCK])
+        sgroup = ArrayGroup("slo-small")
+        sgroup.include(small)
+        hmem = ArrayLayout("slo-heavy-mem", (1,))
+        hdisk = ArrayLayout("slo-heavy-disk", (n_io,))
+        heavy = Array("slo-heavy", (256, 1024), np.float64, hmem,
+                      [BLOCK, NONE], hdisk, [BLOCK, NONE])
+        hgroup = ArrayGroup("slo-heavy")
+        hgroup.include(heavy)
+
+        n_ranks = n_heavy + n_small
+        rejections: dict[int, int] = {}
+
+        def heavy_app(i: int) -> Callable:
+            def app(ctx):
+                ctx.bind(heavy)
+                rejections[i] = 0
+                yield from ctx.compute(i * 1e-3)
+                for _ in range(heavy_ops):
+                    try:
+                        yield from hgroup.write(ctx, f"h{i}")
+                    except OpRejected:
+                        rejections[i] += 1
+                        yield from ctx.compute(0.4)
+            return app
+
+        def small_app(j: int) -> Callable:
+            def app(ctx):
+                ctx.bind(small)
+                yield from ctx.compute(small_start + j * 1e-2)
+                for _ in range(small_ops):
+                    yield from sgroup.write(ctx, f"s{j}")
+                    yield from ctx.compute(2.0)
+            return app
+
+        sched = SchedulerConfig(
+            policy="slo", max_in_flight=2, queue_limit=n_ranks + 2,
+            slo=SLOBudget(turnaround_p99=budget_s),
+        )
+        runtime = PandaRuntime(
+            n_compute=n_ranks, n_io=n_io,
+            spec=sp2(total_nodes=n_ranks + n_io,
+                     plan_formation_overhead=2e-4),
+            config=PandaConfig(scheduler=sched), real_payloads=False,
+        )
+        log = runtime.sim.enable_dispatch_log()
+        if perturb_seed is not None:
+            runtime.sim.enable_perturbation(perturb_seed)
+        if _instrument is not None:
+            _instrument(runtime)
+        assignments = [(heavy_app(i), (i,)) for i in range(n_heavy)]
+        assignments += [(small_app(j), (n_heavy + j,))
+                        for j in range(n_small)]
+        runtime.run_partitioned(assignments)
+        stats = runtime.sched_stats
+        assert stats is not None
+        trackers = runtime.slo_trackers.values()
+        demoted = sum(t.total_demoted for t in trackers)
+        shed = sum(t.total_shed for t in trackers)
+        client_rejections = sum(rejections.values())
+        assert demoted > 0, "slo scenario produced no demotions"
+        assert client_rejections > 0, "slo scenario produced no visible shed"
+        fingerprint = tuple(
+            f"{r.admit_seq}:{r.dataset}:{r.arrived.hex()}:"
+            f"{r.admitted.hex()}:{r.completed.hex()}:{r.moved}"
+            for r in stats.ops
+        ) + tuple(
+            f"rejected[{i}]:{rejections[i]}" for i in sorted(rejections)
+        ) + (f"demoted:{demoted}", f"shed:{shed}")
+        return ScenarioRun(fingerprint, tuple(log))
+
+    return Scenario("slo-enforce", run)
 
 
 def panda_scenarios(with_faults: bool = True) -> List[Scenario]:
@@ -320,6 +473,7 @@ def panda_scenarios(with_faults: bool = True) -> List[Scenario]:
     ]
     scenarios.extend(_scheduled_scenario(p) for p in POLICIES)
     scenarios.extend(_sharded_scenario(k) for k in (2, 4))
+    scenarios.append(_slo_scenario())
     if with_faults:
         from repro.faults import FaultSpec
 

@@ -518,6 +518,15 @@ class Simulator:
         #: optional dispatch log ``(time, label)`` per dispatched event,
         #: used by the race detector to report diverging event pairs.
         self.dispatch_log: Optional[List[Tuple[float, str]]] = None
+        #: controlled-schedule mode (see :mod:`repro.analysis.mc`): when
+        #: set, the model checker's controller picks which same-instant
+        #: entry dispatches next and observes the causal structure of
+        #: the run.  Mutually exclusive with ``_perturb``.
+        self._control: Optional[Any] = None
+        #: footprint recorder for controlled runs: Store/Resource
+        #: operations call ``_mc_rec.note(obj)`` so the model checker
+        #: learns which shared objects each dispatched event touched.
+        self._mc_rec: Optional[Any] = None
         self._init_sentinel = _InitialResume(self)
         #: a shared, pre-triggered event: yielding it charges nothing
         #: and resumes the process inline.  Used by cost helpers
@@ -533,6 +542,8 @@ class Simulator:
         and start recording the dispatch log.  Must be called before
         events are queued; only :mod:`repro.analysis.race` should use
         this -- perturbed runs trade the fast path for instrumentation."""
+        if self._control is not None:
+            raise SimulationError("controller and perturbation are exclusive")
         self._perturb = random.Random(f"perturb:{seed}")
         if self.dispatch_log is None:
             self.dispatch_log = []
@@ -544,9 +555,44 @@ class Simulator:
             self.dispatch_log = []
         return self.dispatch_log
 
+    def enable_controller(self, controller: Any) -> None:
+        """Hand same-instant dispatch decisions to ``controller`` (the
+        panda-mc explorer, see :mod:`repro.analysis.mc`).
+
+        At every dispatch state the controller's ``choose(t, frontier)``
+        is shown the full frontier of minimal-timestamp entries as
+        ``(seq, label)`` pairs and returns the index to dispatch.
+        Around the dispatched callback it receives ``begin(t, seq,
+        label)`` and ``end(pre_seq, post_seq)`` -- the seq range of
+        entries the callback created, i.e. the causal parent edges --
+        and Store/Resource primitives report the shared objects they
+        touch through ``controller.note(obj)``.  Exclusive with
+        :meth:`enable_perturbation`; must be installed before events
+        are queued, like perturbation."""
+        if self._perturb is not None:
+            raise SimulationError("controller and perturbation are exclusive")
+        self._control = controller
+        self._mc_rec = controller
+
+    def mc_note(self, key: Any) -> None:
+        """Declare that the currently-dispatching event touches the
+        shared state named by hashable ``key``.  Store/Resource
+        operations are noted automatically; application callbacks that
+        share state *outside* those primitives (a plain dict, a list)
+        must call this for the model checker to see the conflict --
+        see DESIGN.md section 16 for the soundness boundary.  No-op
+        outside controlled runs, so it is free on the fast path."""
+        rec = self._mc_rec
+        if rec is not None:
+            rec.note(key)
+
     @property
     def _instrumented(self) -> bool:
-        return self._perturb is not None or self.dispatch_log is not None
+        return (
+            self._perturb is not None
+            or self.dispatch_log is not None
+            or self._control is not None
+        )
 
     @staticmethod
     def _dispatch_label(callback: Callable[..., None]) -> str:
@@ -558,6 +604,15 @@ class Simulator:
         qualname = getattr(callback, "__qualname__", None) or repr(callback)
         name = getattr(owner, "name", "")
         return f"{qualname}[{name}]" if name else qualname
+
+    @classmethod
+    def _entry_label(cls, entry: Entry) -> str:
+        """:meth:`_dispatch_label` for a queued entry, unwrapping the
+        multi-arg trampoline."""
+        cb = entry[2]
+        if cb is _apply:
+            cb = entry[3][0]
+        return cls._dispatch_label(cb)
 
     @property
     def now(self) -> float:
@@ -792,9 +847,14 @@ class Simulator:
         With ``_perturb`` unset this dispatches in exactly the normal
         global (time, seq) order -- candidate 0 below *is* the entry the
         fast loop would pop -- so a logged baseline run stays
-        bit-identical to an unlogged one."""
+        With a controller installed (:meth:`enable_controller`) the
+        controller picks the dispatch at *every* state -- including
+        single-candidate frontiers, which it may veto as redundant by
+        raising -- and observes each step's causal children via the seq
+        range created during the callback."""
         ready, heap = self._ready, self._heap
         rng = self._perturb
+        ctl = self._control
         log = self.dispatch_log
         try:
             while heap or ready:
@@ -813,7 +873,10 @@ class Simulator:
                     candidates.append(ready.popleft())
                 while heap and heap[0][0] == t0:
                     candidates.append(heapq.heappop(heap))
-                if rng is not None and len(candidates) > 1:
+                if ctl is not None:
+                    frontier = [(e[1], self._entry_label(e)) for e in candidates]
+                    entry = candidates.pop(ctl.choose(t0, frontier))
+                elif rng is not None and len(candidates) > 1:
                     entry = candidates.pop(rng.randrange(len(candidates)))
                 else:
                     entry = min(candidates, key=lambda e: e[1])
@@ -830,7 +893,13 @@ class Simulator:
                     if cb is _apply:  # unwrap packed multi-arg schedules
                         cb = entry[3][0]
                     log.append((t, self._dispatch_label(cb)))
-                entry[2](entry[3])
+                if ctl is not None:
+                    ctl.begin(t, entry[1], self._entry_label(entry))
+                    pre_seq = self._seq
+                    entry[2](entry[3])
+                    ctl.end(pre_seq, self._seq)
+                else:
+                    entry[2](entry[3])
                 if self.obs is not None:
                     self.obs.on_event(t)
                 if self._unhandled:

@@ -171,6 +171,50 @@ class TestDeterminismRules:
                 return sum(pending)
         """)
 
+    def test_pl008_truncating_float_index(self):
+        # int(0.29 * 100) == 28: representation error picks the element
+        assert _rules("""
+            def quantile(xs, q):
+                return xs[int(q * len(xs))]
+        """) == ["PL008"]
+
+    def test_pl008_division_and_power_forms(self):
+        assert _rules("""
+            def mid(xs):
+                return xs[int(len(xs) / 2)]
+        """) == ["PL008"]
+        assert _rules("""
+            def bucket(xs, k):
+                return xs[int(10 ** k)]
+        """) == ["PL008"]
+
+    def test_pl008_quiet_on_sanctioned_forms(self):
+        # a plain cast of an already-integral value, a base conversion,
+        # integer arithmetic done with //, and an int() result that is
+        # never used as an index are all fine
+        assert _rules("""
+            def f(xs, q, s, n):
+                a = xs[int(q)]
+                b = int(s, 16)
+                c = xs[(q * n) // 1]
+                d = int(q * n)
+                return a, b, c, d
+        """) == []
+
+    def test_pl008_is_allowlistable(self):
+        findings = lint_source(textwrap.dedent("""
+            def quantile(xs, q):
+                return xs[int(q * len(xs))]
+        """), "src/repro/legacy.py")
+        assert [f.rule for f in findings] == ["PL008"]
+        kept, suppressed = apply_allowlist(
+            findings,
+            [AllowEntry("legacy.py", "PL008", "pinned historical cut")],
+            "pyproject.toml",
+        )
+        assert kept == []
+        assert [f.rule for f in suppressed] == ["PL008"]
+
     def test_finding_carries_location(self):
         findings = lint_source(
             "import time\n\nx = time.time()\n", "src/repro/foo.py"
@@ -395,6 +439,23 @@ class TestProtocolChecker:
         # all-send-sites intersection for OP_DONE is empty.  The PING/PONG
         # fixtures above keep the guard/cycle detector itself covered.
         assert report.guards == {}
+
+    def test_real_tree_admission_tags_are_cross_referenced(self):
+        # Regression for the SLO admission plane: OP_REJECTED (the
+        # server-side shed) and CLIENT_DONE (re-broadcast by the
+        # completion path, not only the inline gather) each have both a
+        # send and a receive site on the real tree -- losing either
+        # side would surface as an unmatched-tag finding the moment the
+        # checker runs, not as a silent protocol hole.
+        report = check_tree(REPO_ROOT)
+        sent = {t for s in report.sends for t in s.tags}
+        received = {t for r in report.recvs for t in r.tags}
+        for tag in ("OP_REJECTED", "CLIENT_DONE"):
+            assert tag in sent, f"{tag} has no send site"
+            assert tag in received, f"{tag} has no receive site"
+        assert not any(
+            f.rule in ("PL101", "PL102", "PL103") for f in report.findings
+        )
 
     def test_try_recv_is_recv_site_but_not_guard(self):
         # The scheduler's backpressure drain uses the non-blocking
