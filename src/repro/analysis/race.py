@@ -28,7 +28,6 @@ construction and must survive perturbation too).
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -169,18 +168,9 @@ def detect(
 
 # -- the representative Panda op set ------------------------------------------
 
-def _digest_stored(runtime: object) -> str:
-    """sha256 over every client's bound arrays, in (rank, name) order.
-    Virtual payloads contribute their None placeholders only."""
-    h = hashlib.sha256()
-    states = getattr(runtime, "_client_state", {})
-    for rank in sorted(states):
-        for name in sorted(states[rank]["data"]):
-            arr = states[rank]["data"][name]
-            h.update(f"{rank}:{name}:".encode())
-            if arr is not None:
-                h.update(arr.tobytes())
-    return h.hexdigest()
+#: shared with the replayer: both pin the same exact-result format
+#: (see :mod:`repro.replay.fingerprint`).
+from repro.replay.fingerprint import digest_stored as _digest_stored  # noqa: E402
 
 
 def _roundtrip_scenario(

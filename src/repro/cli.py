@@ -383,6 +383,95 @@ def cmd_soak(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_replay_record(args: argparse.Namespace) -> int:
+    """Capture a canonical scenario into a portable JSON trace (the
+    golden corpus under tests/traces/ is exactly these)."""
+    from repro.replay.scenarios import record_scenario, scenario_names
+
+    if args.list:
+        for name in scenario_names():
+            print(name)
+        return 0
+    if not args.scenario:
+        print("scenario name required (or --list)", file=sys.stderr)
+        return 2
+    try:
+        trace = record_scenario(args.scenario)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    out = args.out or f"{args.scenario}.json"
+    trace.save(out)
+    print(f"recorded {args.scenario!r}: {trace.n_events} event(s), "
+          f"{len(trace.doc['runs'])} run(s) -> {out}")
+    return 0
+
+
+def cmd_replay_run(args: argparse.Namespace) -> int:
+    """Replay a trace file bit-exactly (or differentially under
+    ``--policy``) on a fresh runtime built from the trace alone."""
+    import json
+
+    from repro.replay.replayer import ReplayDivergence, replay
+    from repro.replay.trace import TraceFormatError, WorkloadTrace
+
+    try:
+        trace = WorkloadTrace.load(args.trace)
+    except (OSError, TraceFormatError, ValueError) as exc:
+        print(f"cannot load {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        outcome = replay(trace, policy_override=args.policy)
+    except ReplayDivergence as exc:
+        print(f"REPLAY DIVERGED mid-flight: {exc}", file=sys.stderr)
+        return 1
+    stored_ok = outcome.stored == trace.expect["stored"]
+    if args.format == "json":
+        print(json.dumps({
+            "trace": trace.name,
+            "policy": args.policy,
+            "ok": outcome.ok,
+            "stored_equal": stored_ok,
+            "runs": len(outcome.results),
+            "fingerprints": sum(len(f) for f in outcome.fingerprints),
+            "mismatches": outcome.mismatches,
+        }, indent=1))
+    elif args.policy is not None:
+        print(f"differential replay of {trace.name!r} under "
+              f"{args.policy!r}: stored bytes "
+              f"{'identical' if stored_ok else 'DIVERGED'}")
+    elif outcome.ok:
+        total = sum(len(f) for f in outcome.fingerprints)
+        print(f"replayed {trace.name!r} bit-exactly: {total} "
+              f"fingerprint string(s) + stored bytes all match")
+    else:
+        for m in outcome.mismatches[:20]:
+            print(m, file=sys.stderr)
+    if args.policy is not None:
+        return 0 if stored_ok else 1
+    return 0 if outcome.ok else 1
+
+
+def cmd_replay_diff(args: argparse.Namespace) -> int:
+    """Replay a trace and print the fingerprint-by-fingerprint verdict."""
+    from repro.replay.replayer import ReplayDivergence, diff_lines, replay
+    from repro.replay.trace import TraceFormatError, WorkloadTrace
+
+    try:
+        trace = WorkloadTrace.load(args.trace)
+    except (OSError, TraceFormatError, ValueError) as exc:
+        print(f"cannot load {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        outcome = replay(trace)
+    except ReplayDivergence as exc:
+        print(f"REPLAY DIVERGED mid-flight: {exc}", file=sys.stderr)
+        return 1
+    for line in diff_lines(outcome, limit=args.limit):
+        print(line)
+    return 0 if outcome.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -523,6 +612,44 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also run the slo-vs-fifo enforcement "
                              "comparison workload")
     p_soak.set_defaults(func=cmd_soak)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="workload trace capture/replay: record canonical scenarios, "
+             "re-drive a trace bit-exactly, diff a replay against its "
+             "recording (DESIGN.md section 17)",
+    )
+    replay_sub = p_replay.add_subparsers(dest="replay_cmd", required=True)
+
+    p_rec = replay_sub.add_parser(
+        "record", help="capture a canonical scenario to a trace file")
+    p_rec.add_argument("scenario", nargs="?",
+                       help="scenario name (omit with --list)")
+    p_rec.add_argument("-o", "--out",
+                       help="output path (default <scenario>.json)")
+    p_rec.add_argument("--list", action="store_true",
+                       help="list known scenarios and exit")
+    p_rec.set_defaults(func=cmd_replay_record)
+
+    p_run = replay_sub.add_parser(
+        "run", help="replay a trace on a fresh runtime and verify the "
+                    "recorded fingerprints (exit 1 on divergence)")
+    p_run.add_argument("trace", help="trace file to replay")
+    p_run.add_argument("--policy", choices=["fifo", "sjf", "fair", "slo"],
+                       help="differential replay: re-drive the same "
+                            "stimuli under this policy instead (skips "
+                            "fingerprint comparison; data must still "
+                            "match byte for byte)")
+    p_run.add_argument("--format", choices=["text", "json"], default="text")
+    p_run.set_defaults(func=cmd_replay_run)
+
+    p_diff = replay_sub.add_parser(
+        "diff", help="replay a trace and print a line-by-line "
+                     "fingerprint comparison (exit 1 on divergence)")
+    p_diff.add_argument("trace", help="trace file to replay")
+    p_diff.add_argument("--limit", type=int, default=20,
+                        help="mismatch lines to show (default 20)")
+    p_diff.set_defaults(func=cmd_replay_diff)
 
     return parser
 

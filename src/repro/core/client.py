@@ -113,6 +113,8 @@ class PandaClient:
             if data is not None:
                 raise ValueError("cannot bind real data in virtual-payload mode")
             self._state["data"][spec.name] = None
+            if self.runtime.recorder is not None:
+                self.runtime.recorder.on_bind(self.rank, spec)
             return None
         if data is None:
             data = np.zeros(region.shape, dtype=spec.np_dtype)
@@ -128,6 +130,9 @@ class PandaClient:
                 f"{spec.np_dtype} for {spec.name!r}"
             )
         self._state["data"][spec.name] = data
+        recorder = self.runtime.recorder
+        if recorder is not None:
+            recorder.on_bind(self.rank, spec)
         return data
 
     def local(self, array) -> Optional[np.ndarray]:
@@ -198,6 +203,11 @@ class PandaClient:
                         f"before collective {kind}"
                     )
         self.runtime.oplog.enter(self.rank, op, self.comm.sim.now, schema_file)
+        recorder = self.runtime.recorder
+        if recorder is not None:
+            # the op arrival is a stimulus: capture instant, descriptor
+            # and (real-mode writes) the bound payload bytes as of now
+            recorder.on_op_enter(self, op)
         self._mark("cli_op_start", op_id=op.op_id, kind=kind)
         # op setup cost on every client
         yield self.comm.handle_ev()
@@ -223,6 +233,10 @@ class PandaClient:
         if rejection is not None:
             self._mark("cli_op_rejected", op_id=op.op_id,
                        dataset=op.dataset, tenant=rejection.tenant)
+            if recorder is not None:
+                # shed ops are stimuli too: replay must raise the same
+                # collective OpRejected at the same point
+                recorder.on_op_rejected(self.rank, op)
             self.runtime.oplog.reject(op)
             raise OpRejected(rejection)
         self._mark("cli_op_done", op_id=op.op_id, kind=kind)

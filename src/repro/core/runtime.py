@@ -330,6 +330,15 @@ class PandaRuntime:
         #: each run, empty under every other policy.
         self.slo_trackers: Dict[int, "SLOTracker"] = {}
         self._client_state: Dict[int, dict] = {r: {} for r in range(n_compute)}
+        #: optional :class:`repro.replay.capture.TraceRecorder`: when
+        #: attached, run boundaries, binds and op arrivals are captured
+        #: into a replayable WorkloadTrace.  Capture is passive -- a
+        #: recorded run is bit-identical to an unrecorded one.
+        self.recorder = None
+        #: replay mode: absolute-instant crash plan for the next run,
+        #: overriding the config's run-relative crash times (set and
+        #: cleared by :func:`repro.replay.replayer.replay`).
+        self._replay_crashes_abs: Optional[List[tuple]] = None
 
     # -- rank arithmetic ------------------------------------------------------
     @property
@@ -531,6 +540,22 @@ class PandaRuntime:
                             n_compute=self.n_compute, n_io=self.n_io,
                             n_apps=len(assignments))
         counters_before = COUNTERS.snapshot()
+        # the run's effective fail-stop crash plan, as absolute instants:
+        # the config's times are run-relative, the replayer's recorded
+        # ones already absolute.  schedule_at lands on fl(t0 + t) exactly
+        # like the former schedule(t) did, so this refactor is
+        # bit-identical for unrecorded runs.
+        crashes_abs: List[tuple] = []
+        if self.injector is not None:
+            if self._replay_crashes_abs is not None:
+                crashes_abs = list(self._replay_crashes_abs)
+            else:
+                crashes_abs = [(idx, t0 + t)
+                               for idx, t in self.config.faults.crashes]
+        if self.recorder is not None:
+            self.recorder.on_run_start(
+                [tuple(ranks) for _app, ranks in assignments], crashes_abs
+            )
         self.crashed_servers = set()  # a fresh run repairs every node
         self.slo_trackers = {}  # shard masters re-register per run
         sched_cfg = self.config.scheduler
@@ -561,11 +586,8 @@ class PandaRuntime:
                 self.filesystems[i],
             )
             server_procs.append(self.sim.spawn(server.run(), name=f"server{i}"))
-        if self.injector is not None:
-            # fail-stop crashes, times relative to this run's start (a
-            # runtime run several times re-injects them each run)
-            for idx, t in self.config.faults.crashes:
-                self.sim.schedule(t, self._crash_server, idx, server_procs)
+        for idx, t_abs in crashes_abs:
+            self.sim.schedule_at(t_abs, self._crash_server, idx, server_procs)
         client_procs = []
         for app, ranks in assignments:
             group = tuple(ranks)
@@ -617,6 +639,8 @@ class PandaRuntime:
         )
         # ops are cumulative across runs; report only this run's slice
         result.ops = [o for o in ops if o.start >= t0]
+        if self.recorder is not None:
+            self.recorder.on_run_end(result, self.sched_stats)
         return result
 
     # -- fault plumbing -------------------------------------------------------

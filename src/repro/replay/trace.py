@@ -1,0 +1,231 @@
+"""The WorkloadTrace: a versioned, portable JSON record of every
+externally-visible stimulus of a multi-tenant run.
+
+A trace holds exactly what is needed to re-drive a runtime from
+nothing -- and nothing more:
+
+- the machine model and runtime shape (``MachineSpec``, compute/IO
+  counts, real-vs-virtual payloads);
+- the full library config, including fault rates + RNG seed, scheduler
+  policy/shards/SLO budget (stimuli: they select code paths and seed
+  the fault PRNG streams);
+- the array table: every distributed array by value (shape, dtype,
+  memory/disk meshes and distributions), deduplicated by content;
+- a content-addressed payload pool (sha256 -> zlib+base64 bytes) for
+  write payloads in real-payload mode;
+- per run: the client groups, the *absolute* fail-stop crash instants,
+  and one ordered event stream per rank -- binds and collective-op
+  arrivals.  Op arrival times are recorded as ``float.hex()`` so replay
+  re-lands on the identical float (decimal printing can alias);
+- the expected outcome: per-run fingerprints plus the stored-bytes
+  digest (see :mod:`repro.replay.fingerprint`).
+
+Everything in the document is plain JSON types, so
+``loads(dumps(t)) == t`` holds exactly and traces diff cleanly in git.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import zlib
+from dataclasses import asdict
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.core.config import PandaConfig
+from repro.core.protocol import ArraySpec
+from repro.core.scheduler import SchedulerConfig
+from repro.faults import FaultSpec
+from repro.machine import MachineSpec
+from repro.obs.slo import SLOBudget
+from repro.schema.chunking import DataSchema
+
+__all__ = ["TRACE_VERSION", "WorkloadTrace", "TraceFormatError"]
+
+#: schema version; bumped on any incompatible document change.
+TRACE_VERSION = 1
+
+
+class TraceFormatError(ValueError):
+    """The document is not a trace this library can replay."""
+
+
+# -- config (de)serialization -------------------------------------------------
+
+def spec_to_doc(spec: ArraySpec) -> Dict[str, Any]:
+    return {
+        "name": spec.name,
+        "shape": list(spec.shape),
+        "itemsize": spec.itemsize,
+        "dtype": spec.dtype,
+        "mem_mesh": list(spec.memory_schema.mesh.dims),
+        "mem_dists": [d.kind for d in spec.memory_schema.dists],
+        "disk_mesh": list(spec.disk_schema.mesh.dims),
+        "disk_dists": [d.kind for d in spec.disk_schema.dists],
+        "sub_chunk_bytes": spec.sub_chunk_bytes,
+    }
+
+
+def spec_from_doc(doc: Dict[str, Any]) -> ArraySpec:
+    shape = tuple(doc["shape"])
+    return ArraySpec(
+        name=doc["name"],
+        shape=shape,
+        itemsize=doc["itemsize"],
+        dtype=doc["dtype"],
+        memory_schema=DataSchema.build(shape, doc["mem_mesh"], doc["mem_dists"]),
+        disk_schema=DataSchema.build(shape, doc["disk_mesh"], doc["disk_dists"]),
+        sub_chunk_bytes=doc["sub_chunk_bytes"],
+    )
+
+
+def config_to_doc(config: PandaConfig) -> Dict[str, Any]:
+    faults = None
+    if config.faults is not None:
+        faults = asdict(config.faults)
+        faults["crashes"] = [[idx, t] for idx, t in config.faults.crashes]
+    sched = None
+    if config.scheduler is not None:
+        sched = asdict(config.scheduler)
+        if config.scheduler.slo is not None:
+            sched["slo"] = asdict(config.scheduler.slo)
+    return {
+        "sub_chunk_bytes": config.sub_chunk_bytes,
+        "nonblocking": config.nonblocking,
+        "check_collective_consistency": config.check_collective_consistency,
+        "faults": faults,
+        "scheduler": sched,
+    }
+
+
+def config_from_doc(doc: Dict[str, Any]) -> PandaConfig:
+    faults = None
+    if doc["faults"] is not None:
+        fd = dict(doc["faults"])
+        fd["crashes"] = tuple((idx, t) for idx, t in fd["crashes"])
+        faults = FaultSpec(**fd)
+    sched = None
+    if doc["scheduler"] is not None:
+        sd = dict(doc["scheduler"])
+        if sd.get("slo") is not None:
+            sd["slo"] = SLOBudget(**sd["slo"])
+        sched = SchedulerConfig(**sd)
+    return PandaConfig(
+        sub_chunk_bytes=doc["sub_chunk_bytes"],
+        nonblocking=doc["nonblocking"],
+        check_collective_consistency=doc["check_collective_consistency"],
+        faults=faults,
+        scheduler=sched,
+    )
+
+
+# -- payload pool -------------------------------------------------------------
+
+def encode_payload(data: np.ndarray) -> str:
+    """zlib+base64 of the array's raw bytes (checkpoint payloads are
+    often sparse or repetitive; compression keeps traces committable)."""
+    return base64.b64encode(zlib.compress(data.tobytes(), 6)).decode("ascii")
+
+
+def decode_payload(blob: str, like: np.ndarray) -> np.ndarray:
+    raw = zlib.decompress(base64.b64decode(blob.encode("ascii")))
+    return np.frombuffer(raw, dtype=like.dtype).reshape(like.shape)
+
+
+class WorkloadTrace:
+    """A captured workload: wrapper over the plain-JSON document.
+
+    Construction goes through :class:`repro.replay.capture.
+    TraceRecorder` (capture) or :meth:`loads`/:meth:`load`
+    (deserialization); :mod:`repro.replay.replayer` consumes it.
+    """
+
+    def __init__(self, doc: Dict[str, Any]) -> None:
+        if doc.get("version") != TRACE_VERSION:
+            raise TraceFormatError(
+                f"trace version {doc.get('version')!r} != supported "
+                f"{TRACE_VERSION}"
+            )
+        for key in ("runtime", "machine", "config", "arrays", "payloads",
+                    "runs", "expect"):
+            if key not in doc:
+                raise TraceFormatError(f"trace document missing {key!r}")
+        self.doc = doc
+
+    # -- identity ---------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, WorkloadTrace) and self.doc == other.doc
+
+    def __repr__(self) -> str:
+        r = self.doc["runtime"]
+        return (
+            f"<WorkloadTrace {self.name!r} v{self.doc['version']}: "
+            f"{r['n_compute']}c/{r['n_io']}io, {len(self.doc['runs'])} "
+            f"run(s), {self.n_events} event(s)>"
+        )
+
+    @property
+    def name(self) -> str:
+        return self.doc.get("name", "")
+
+    @property
+    def meta(self) -> Dict[str, Any]:
+        """Free-form provenance (generator parameters, seeds).  Carried
+        through replay-recapture; never consulted by the replayer."""
+        return self.doc.get("meta", {})
+
+    @property
+    def n_events(self) -> int:
+        return sum(
+            len(evs) for run in self.doc["runs"]
+            for evs in run["events"].values()
+        )
+
+    @property
+    def expect(self) -> Dict[str, Any]:
+        return self.doc["expect"]
+
+    # -- reconstruction helpers ------------------------------------------
+    def machine(self) -> MachineSpec:
+        return MachineSpec(**self.doc["machine"])
+
+    def config(self) -> PandaConfig:
+        return config_from_doc(self.doc["config"])
+
+    def array_spec(self, key: str) -> ArraySpec:
+        return spec_from_doc(self.doc["arrays"][key])
+
+    # -- (de)serialization ------------------------------------------------
+    def dumps(self) -> str:
+        return json.dumps(self.doc, indent=1, sort_keys=True)
+
+    @classmethod
+    def loads(cls, text: str) -> "WorkloadTrace":
+        return cls(json.loads(text))
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.dumps())
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "WorkloadTrace":
+        with open(path) as fh:
+            return cls.loads(fh.read())
+
+    @staticmethod
+    def equivalent(a: "WorkloadTrace", b: "WorkloadTrace") -> bool:
+        """Equality modulo the schema version field (capture->replay->
+        capture across a version bump still names the same workload)."""
+        da = {k: v for k, v in a.doc.items() if k != "version"}
+        db = {k: v for k, v in b.doc.items() if k != "version"}
+        return da == db
+
+
+def canonical_json(value: Any) -> Any:
+    """Round ``value`` through JSON so the in-memory document holds
+    exactly what a saved file would (tuples become lists, dict keys
+    become strings).  Keeps ``loads(dumps(t)) == t`` structural."""
+    return json.loads(json.dumps(value))

@@ -666,6 +666,50 @@ class Simulator:
         else:
             self._push(delay, callback, args[0])
 
+    def _push_at(self, t: float, callback: Callable[[Any], None], arg: Any) -> None:
+        """Queue ``callback(arg)`` at absolute time ``t > now`` (heap path)."""
+        free = self._free
+        seq = self._seq
+        if free:
+            e = free.pop()
+            e[0] = t
+            e[1] = seq
+            e[2] = callback
+            e[3] = arg
+        else:
+            e = [t, seq, callback, arg]
+        self._seq = seq + 1
+        self._heap_pushes += 1
+        heapq.heappush(self._heap, e)
+
+    def schedule_at(self, t: float, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` at *absolute* simulated time ``t``.
+
+        ``schedule(t - now, ...)`` would dispatch at ``fl(now + fl(t -
+        now))``, which can miss ``t`` by an ulp -- float addition does
+        not round-trip.  The entry here carries ``t`` itself, so a
+        caller holding an exact recorded timestamp (the trace replayer,
+        :mod:`repro.replay`) lands on it bit-exactly."""
+        if t < self._now:
+            raise ValueError(
+                f"schedule_at in the past: {t!r} < now {self._now!r}"
+            )
+        if len(args) != 1:
+            args = ((callback, args),)
+            callback = _apply
+        if t == self._now:
+            self._post(callback, args[0])
+        else:
+            self._push_at(t, callback, args[0])
+
+    def wake_at(self, t: float, value: Any = None) -> "Event":
+        """An event that triggers at exactly absolute time ``t >= now``
+        (see :meth:`schedule_at` for why this is not ``timeout(t -
+        now)``)."""
+        ev = Event(self, "wake_at")
+        self.schedule_at(t, ev.succeed, value)
+        return ev
+
     def _flush_counters(self) -> None:
         """Fold the per-run scheduling deltas into the global counters.
         Called when a dispatch loop exits; keeps ``COUNTERS`` exact

@@ -18,13 +18,23 @@ from repro.workloads.apps import (
     write_array_app,
     write_read_roundtrip_app,
 )
+from repro.workloads.storm import (
+    StormParams,
+    StormReport,
+    run_storm,
+    storm_runtime,
+)
 
 __all__ = [
+    "StormParams",
+    "StormReport",
     "distribute",
     "gather_global",
     "make_global_array",
     "mesh_for",
     "read_array_app",
+    "run_storm",
+    "storm_runtime",
     "write_array_app",
     "write_read_roundtrip_app",
 ]

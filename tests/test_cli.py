@@ -61,3 +61,43 @@ def test_compare(capsys):
     assert "Panda (natural)" in out
     assert "two-phase" in out
     assert "naive striping" in out
+
+
+def test_replay_record_list(capsys):
+    assert main(["replay", "record", "--list"]) == 0
+    names = capsys.readouterr().out.split()
+    assert "roundtrip" in names and "storm-small" in names
+
+
+def test_replay_record_run_diff_in_process(tmp_path, capsys):
+    out = tmp_path / "rt.json"
+    assert main(["replay", "record", "roundtrip", "-o", str(out)]) == 0
+    assert "recorded 'roundtrip'" in capsys.readouterr().out
+
+    assert main(["replay", "run", str(out)]) == 0
+    assert "bit-exactly" in capsys.readouterr().out
+
+    assert main(["replay", "run", str(out), "--policy", "sjf"]) == 0
+    assert "stored bytes identical" in capsys.readouterr().out
+
+    assert main(["replay", "run", str(out), "--format", "json"]) == 0
+    assert '"stored_equal": true' in capsys.readouterr().out
+
+    assert main(["replay", "diff", str(out)]) == 0
+    assert "replay matches recording" in capsys.readouterr().out
+
+
+def test_replay_cli_error_paths(tmp_path, capsys):
+    assert main(["replay", "record", "no-such-scenario"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+    assert main(["replay", "record"]) == 2
+    assert "scenario name required" in capsys.readouterr().err
+
+    assert main(["replay", "run", str(tmp_path / "missing.json")]) == 2
+    assert "cannot load" in capsys.readouterr().err
+
+    bad = tmp_path / "bad.json"
+    bad.write_text("{}\n")
+    assert main(["replay", "diff", str(bad)]) == 2
+    assert "cannot load" in capsys.readouterr().err

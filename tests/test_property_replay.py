@@ -1,0 +1,65 @@
+"""Property tests for the trace format and the capture/replay loop.
+
+Two invariants over randomized storm workloads:
+
+- **serialization roundtrip** -- ``loads(dumps(t)) == t`` exactly: the
+  trace document is plain JSON types only, so nothing is lost or
+  coerced on the way through a file;
+- **capture -> replay -> capture is a fixpoint** -- replaying a capture
+  while re-recording it reproduces the identical trace document
+  (modulo nothing: same stimuli, same instants, same payloads, same
+  expectations).  This is strictly stronger than "replay matches the
+  fingerprints": the *recording machinery itself* observes the same
+  execution both times.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import FaultSpec
+from repro.replay import TraceRecorder, WorkloadTrace, replay
+from repro.workloads.storm import StormParams, run_storm
+
+
+def _capture(params: StormParams) -> WorkloadTrace:
+    holder = {}
+    run_storm(params, runtime_hook=lambda rt: holder.update(
+        rec=TraceRecorder(rt, name="prop")))
+    return holder["rec"].trace()
+
+
+storm_params = st.builds(
+    StormParams,
+    n_tenants=st.integers(1, 3),
+    n_io=st.integers(1, 2),
+    policy=st.sampled_from(["fifo", "sjf", "fair", "slo"]),
+    rounds=st.integers(1, 2),
+    deadline=st.sampled_from([0.05, 0.2]),
+    burst_skew=st.floats(0.0, 1.0, allow_nan=False),
+    restart_every=st.integers(1, 3),
+    elements=st.sampled_from([8, 32]),
+    size_classes=st.sampled_from([(1,), (1, 4)]),
+    seed=st.integers(0, 2 ** 16),
+    faults=st.sampled_from([
+        None,
+        FaultSpec(seed=1, msg_drop_rate=0.05),
+        FaultSpec(seed=2, msg_delay_rate=0.2, msg_delay=1e-3),
+    ]),
+    real_payloads=st.booleans(),
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(params=storm_params)
+def test_trace_json_roundtrip_is_exact(params):
+    trace = _capture(params)
+    assert WorkloadTrace.loads(trace.dumps()) == trace
+
+
+@settings(max_examples=20, deadline=None)
+@given(params=storm_params)
+def test_capture_replay_capture_is_fixpoint(params):
+    trace = _capture(params)
+    outcome = replay(WorkloadTrace.loads(trace.dumps()), recapture=True)
+    assert outcome.ok, outcome.mismatches
+    assert WorkloadTrace.equivalent(outcome.recaptured, trace)
+    assert outcome.recaptured.dumps() == trace.dumps()

@@ -430,3 +430,47 @@ def test_dispatch_order_identical_across_run_modes():
         assert runs[0] == runs[1] == runs[2]
 
     check()
+
+
+def test_schedule_at_lands_on_the_exact_float():
+    """Absolute-time scheduling must not round through ``now + delay``:
+    the callback fires at the given float bit-exactly, even when
+    ``t - now`` is not representable without error."""
+    sim = Simulator()
+    t = 0.1 + 0.2  # 0.30000000000000004: now + (t - now) != t from 0.1
+    seen = []
+
+    def proc(sim):
+        yield sim.timeout(0.1)
+        sim.schedule_at(t, lambda: seen.append(sim.now))
+        yield sim.timeout(1.0)
+
+    sim.run_process(proc(sim))
+    assert seen == [t]
+    assert seen[0].hex() == t.hex()
+
+
+def test_schedule_at_now_and_past():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        sim.schedule_at(1.0, lambda: seen.append("now"))  # t == now: ok
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+        yield sim.timeout(0.1)
+
+    sim.run_process(proc(sim))
+    assert seen == ["now"]
+
+
+def test_wake_at_delivers_value_at_instant():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(0.25)
+        got = yield sim.wake_at(0.75, "payload")
+        return got, sim.now
+
+    assert sim.run_process(proc(sim)) == ("payload", 0.75)

@@ -228,6 +228,59 @@ def test_rejection_is_client_visible_and_absent_from_oplog():
     assert any(rec.kind == "sched_reject" for rec in rt.trace.records)
 
 
+def test_shed_ops_are_captured_and_replay_to_the_same_rejection():
+    """Shed ops are stimuli: a capture of a run that sheds records the
+    rejected arrivals (on every rank of the group), and replaying the
+    trace reproduces the same collective :class:`OpRejected` -- again
+    with no completed-op record, no oplog entry and no stats residue
+    beyond the recording's."""
+    from repro.core.api import Array, ArrayGroup, ArrayLayout
+    from repro.machine import sp2
+    from repro.replay import TraceRecorder, WorkloadTrace, replay
+    from repro.schema.distribution import BLOCK
+
+    mem = ArrayLayout("slo-mem", (2,))
+    disk = ArrayLayout("slo-disk", (2,))
+    arr = Array("slo-arr", (64,), np.float64, mem, [BLOCK], disk, [BLOCK])
+    group = ArrayGroup("slo-grp")
+    group.include(arr)
+
+    def app(ctx):
+        ctx.bind(arr)
+        for k in range(4):
+            try:
+                yield from group.write(ctx, "hot")
+            except OpRejected:
+                return
+            yield from ctx.compute(1e-3)
+
+    budget = SLOBudget(turnaround_p99=1e-7, shed_factor=1.0,
+                       min_history=3)
+    sched = SchedulerConfig(policy="slo", slo=budget)
+    rt = PandaRuntime(
+        n_compute=2, n_io=2, spec=sp2(total_nodes=4),
+        config=PandaConfig(scheduler=sched), real_payloads=False,
+    )
+    recorder = TraceRecorder(rt, name="shed")
+    rt.run(app)
+    trace = WorkloadTrace.loads(recorder.trace().dumps())
+
+    # both ranks' 4th op is recorded as shed
+    events = trace.doc["runs"][0]["events"]
+    for rank in ("0", "1"):
+        ops = [ev for ev in events[rank] if ev["type"] == "op"]
+        assert [ev["rejected"] for ev in ops] == [False] * 3 + [True]
+
+    # the replay reproduces the rejection collectively, with the same
+    # absence of residue the original run had
+    outcome = replay(trace)
+    assert outcome.ok, outcome.mismatches
+    rt2 = outcome.runtime
+    assert sum(t.total_shed for t in rt2.slo_trackers.values()) == 1
+    assert len([r for r in rt2.sched_stats.completed_ops()]) == 3
+    assert len(rt2.oplog.records) == 3
+
+
 def test_slo_summary_surfaces_in_describe_and_metrics():
     out = run_slo_comparison(n_small=2, n_heavy=2, small_ops=2,
                              heavy_ops=4)
